@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks of the compiler itself: SMG
+// construction, dimension analysis, slicing, search-space enumeration and
+// full compilation. These back the paper's claim that the SMG abstraction's
+// analysis and transformation passes are lightweight (Sec. 6.5).
+#include <benchmark/benchmark.h>
+
+#include "src/core/spacefusion.h"
+#include "src/support/logging.h"
+#include "src/schedule/pipeline.h"
+#include "src/slicing/slicers.h"
+
+namespace spacefusion {
+namespace {
+
+void BM_BuildSmgMha(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, state.range(0), state.range(0), 64);
+  for (auto _ : state) {
+    auto built = BuildSmg(g);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(BM_BuildSmgMha)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_DimAnalysis(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, 1024, 1024, 64);
+  auto built = BuildSmg(g);
+  for (auto _ : state) {
+    auto dims = AnalyzeAllDims(built->smg);
+    benchmark::DoNotOptimize(dims);
+  }
+}
+BENCHMARK(BM_DimAnalysis);
+
+void BM_TemporalSlicerMha(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, 1024, 1024, 64);
+  auto built = BuildSmg(g);
+  std::vector<DimId> spatial = SpatialSlicer::GetDims(built->smg);
+  for (auto _ : state) {
+    auto choice = TemporalSlicer::GetPriorDim(g, *built, spatial);
+    benchmark::DoNotOptimize(choice);
+  }
+}
+BENCHMARK(BM_TemporalSlicerMha);
+
+void BM_SlicingPipelineMha(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, 1024, 1024, 64);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  for (auto _ : state) {
+    auto pipeline = RunSlicingPipeline(g, rc, SlicingOptions());
+    benchmark::DoNotOptimize(pipeline);
+  }
+}
+BENCHMARK(BM_SlicingPipelineMha);
+
+void BM_CompileSubgraph(benchmark::State& state) {
+  std::vector<Graph> graphs;
+  graphs.push_back(BuildMha(32 * 12, 1024, 1024, 64));
+  graphs.push_back(BuildMlp(8, 4096, 256, 256));
+  graphs.push_back(BuildLayerNormGraph(8192, 8192));
+  const Graph& g = graphs[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    Compiler compiler{CompileOptions(AmpereA100())};  // fresh: no cache hits
+    auto compiled = compiler.Compile(g);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileSubgraph)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CompileBertModel(benchmark::State& state) {
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, 32, 512));
+  for (auto _ : state) {
+    Compiler compiler{CompileOptions(AmpereA100())};
+    auto compiled = compiler.CompileModel(model);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileBertModel);
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) {
+  spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

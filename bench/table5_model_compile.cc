@@ -1,0 +1,109 @@
+// Reproduces paper Table 5: model compilation time for BladeDISC, TensorRT,
+// and SpaceFusion on BERT, ViT and T5.
+//
+// SpaceFusion's column is this implementation's real scheduling wall time
+// plus the emulated on-GPU tuning time (as in Table 4). The baselines are
+// modeled from their published mechanisms:
+//   * BladeDISC performs JIT analysis/transformation and NVCC compilation of
+//     every stitched kernel (dominated by per-kernel JIT compilation);
+//   * TensorRT measures a subset of hand-tuned tactic combinations per
+//     layer at engine-build time (dominated by timed test runs).
+//
+// Paper reference: Bert 176.2/141.1/68.4 s, ViT 155.8/213.4/76.9 s,
+// T5 356.1/306.9/131.7 s (BladeDISC / TensorRT / SpaceFusion); SpaceFusion
+// compiles ~2.4x faster on average.
+#include <set>
+
+#include "bench/bench_util.h"
+
+namespace spacefusion {
+namespace {
+
+// BladeDISC: per unique fused kernel, JIT analysis + nvcc compilation.
+double ModelBladeDiscCompileSeconds(const ModelGraph& model, const GpuArch& arch) {
+  const double kJitSecondsPerKernel = 7.5;   // nvcc + ptxas for one kernel
+  const double kAnalysisSecondsPerOp = 0.2;
+  auto astitch = MakeAStitchBaseline();
+  std::set<std::uint64_t> seen;
+  double seconds = 0.0;
+  for (const Subprogram& sub : model.subprograms) {
+    if (seen.count(sub.graph.StructuralHash()) > 0) {
+      continue;
+    }
+    seen.insert(sub.graph.StructuralHash());
+    AddressMap am;
+    std::vector<KernelSpec> kernels = astitch->Plan(sub.graph, arch, &am);
+    seconds += static_cast<double>(kernels.size()) * kJitSecondsPerKernel +
+               static_cast<double>(sub.graph.ops().size()) * kAnalysisSecondsPerOp;
+  }
+  return seconds;
+}
+
+// TensorRT: per unique layer, timed tactic search over library kernels.
+double ModelTensorRtCompileSeconds(const ModelGraph& model, const GpuArch& arch) {
+  const int kTacticsPerKernel = 28;
+  const int kRunsPerTactic = 60;
+  const double kBuilderOverheadSeconds = 30.0;
+  auto trt = MakeTensorRtBaseline();
+  CostModel cost(arch);
+  std::set<std::uint64_t> seen;
+  double seconds = kBuilderOverheadSeconds;
+  for (const Subprogram& sub : model.subprograms) {
+    if (seen.count(sub.graph.StructuralHash()) > 0) {
+      continue;
+    }
+    seen.insert(sub.graph.StructuralHash());
+    AddressMap am;
+    for (const KernelSpec& k : trt->Plan(sub.graph, arch, &am)) {
+      seconds += cost.EstimateKernel(k).time_us * 1e-6 * kTacticsPerKernel * kRunsPerTactic;
+      seconds += 1.5;  // per-kernel builder bookkeeping
+    }
+  }
+  return seconds;
+}
+
+double SpaceFusionCompileSeconds(const ModelGraph& model, const GpuArch& arch) {
+  Compiler compiler{CompileOptions(arch)};
+  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  if (!compiled.ok()) {
+    return -1.0;
+  }
+  return compiled->compile_time.tuning_s +
+         (compiled->compile_time.slicing_ms + compiled->compile_time.enum_cfg_ms) * 1e-3;
+}
+
+void Run() {
+  PrintHeader("Table 5: Model compilation time (Ampere, seconds)");
+  GpuArch arch = AmpereA100();
+  PrintSeriesHeader("model", {"BladeDISC", "TensorRT", "SpaceFusion"});
+
+  double ratio_disc = 0, ratio_trt = 0;
+  int n = 0;
+  for (ModelKind kind : {ModelKind::kBert, ModelKind::kViT, ModelKind::kT5}) {
+    std::int64_t seq = kind == ModelKind::kViT ? 224 : 512;
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/32, seq));
+    double disc = ModelBladeDiscCompileSeconds(model, arch);
+    double trt = ModelTensorRtCompileSeconds(model, arch);
+    double sf = SpaceFusionCompileSeconds(model, arch);
+    PrintRow(ModelKindName(kind), {disc, trt, sf});
+    if (sf > 0) {
+      ratio_disc += disc / sf;
+      ratio_trt += trt / sf;
+      ++n;
+    }
+  }
+  std::printf("\nSpaceFusion compiles %.2fx faster than BladeDISC and %.2fx faster than"
+              " TensorRT on average (paper: 2.44x and 2.39x).\n",
+              n ? ratio_disc / n : 0.0, n ? ratio_trt / n : 0.0);
+  std::printf("Baseline compile times are modeled from their mechanisms (JIT kernel\n"
+              "compilation / tactic measurement); see EXPERIMENTS.md.\n");
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main() {
+  spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
+  spacefusion::Run();
+  return 0;
+}

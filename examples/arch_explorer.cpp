@@ -1,0 +1,70 @@
+// Architecture explorer: shows how SpaceFusion's resource-aware scheduling
+// adapts a workload's fusion schedule to different GPU configurations —
+// including hypothetical ones passed on the command line.
+//
+//   $ ./build/examples/arch_explorer                 # V100 / A100 / H100
+//   $ ./build/examples/arch_explorer 48 64           # 48KB smem, 64 SMs
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/spacefusion.h"
+#include "src/schedule/lowering.h"
+#include "src/support/logging.h"
+#include "src/tuning/tuner.h"
+
+namespace {
+
+void Explore(const spacefusion::GpuArch& arch) {
+  using namespace spacefusion;
+  std::printf("==== %s: %d SMs, %.0f TFLOPS fp16, %.0f GB/s, %lld KB smem/block ====\n",
+              arch.name.c_str(), arch.num_sms, arch.fp16_tflops, arch.dram_gbps,
+              static_cast<long long>(arch.smem_per_block_max / 1024));
+
+  ResourceConfig rc = ResourceConfig::FromArch(arch);
+  CostModel cost(arch);
+
+  struct Case {
+    const char* label;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"MHA  (12h x 1k x 64)", BuildMha(12, 1024, 1024, 64)});
+  cases.push_back({"LayerNorm 8K x 8K", BuildLayerNormGraph(8192, 8192)});
+  cases.push_back({"MLP 8 x [4096,256]", BuildMlp(8, 4096, 256, 256)});
+
+  for (Case& c : cases) {
+    StatusOr<SlicingResult> sliced = ResourceAwareSlicing(c.graph, rc);
+    if (!sliced.ok()) {
+      std::printf("  %-22s UNSCHEDULABLE (%s)\n", c.label,
+                  sliced.status().message().c_str());
+      continue;
+    }
+    TuningStats stats = TuneKernel(&*sliced, cost, rc);
+    std::printf("  %-22s %4zu configs -> %s\n", c.label, sliced->configs.size(),
+                sliced->schedule.ToString().c_str());
+    std::printf("  %-22s tuned best: %.1f us (%.2fs emulated tuning)\n", "",
+                stats.best_time_us, stats.simulated_tuning_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spacefusion;
+  SetLogThreshold(LogLevel::kWarning);
+
+  if (argc >= 3) {
+    GpuArch custom = AmpereA100();
+    custom.name = "Custom";
+    custom.smem_per_block_max = std::atoll(argv[1]) * 1024;
+    custom.smem_per_sm = custom.smem_per_block_max;
+    custom.num_sms = std::atoi(argv[2]);
+    Explore(custom);
+    return 0;
+  }
+  for (const GpuArch& arch : AllArchitectures()) {
+    Explore(arch);
+  }
+  return 0;
+}

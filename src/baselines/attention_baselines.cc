@@ -1,0 +1,147 @@
+// Hand-fused attention baselines (paper Fig. 13): FlashAttention CUDA v1/v2
+// and the Triton FlashAttention implementation.
+//
+// All three avoid materializing the seq_q x seq_kv probability matrix via
+// online softmax. They differ in parallelization and tuning:
+//   * FlashAttention 1 parallelizes over (batch x heads) only — long on
+//     locality, short on occupancy at small batch;
+//   * FlashAttention 2 additionally parallelizes the query dimension and
+//     reaches higher MMA efficiency;
+//   * the Triton version matches FA1's dataflow with hand-tuned block sizes.
+// The CUDA kernels require SM80+ (no Volta support — the paper's Fig. 13
+// notes the absent data points).
+#include <cmath>
+
+#include "src/baselines/baseline.h"
+#include "src/baselines/patterns.h"
+#include "src/support/math_util.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+struct FlashConfig {
+  std::string name;
+  bool parallel_seq_q = false;  // FA2-style extra parallelism
+  double efficiency = 0.55;
+  bool needs_sm80 = true;       // CUDA kernels: Ampere or newer
+  std::int64_t q_tile = 128;
+};
+
+class FlashAttentionBaseline : public Baseline {
+ public:
+  explicit FlashAttentionBaseline(FlashConfig config) : config_(std::move(config)) {}
+
+  std::string name() const override { return config_.name; }
+
+  bool Supports(const Graph& graph, const GpuArch& arch) const override {
+    if (DetectPattern(graph) != GraphPattern::kMha) {
+      return false;
+    }
+    if (config_.needs_sm80 && arch.name == "Volta") {
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                               AddressMap* addresses) const override {
+    MhaDims d = ExtractMhaDims(graph);
+    const std::int64_t eb = 2;  // fp16
+
+    KernelSpec spec;
+    spec.name = StrCat(config_.name, ".fused_mha");
+    spec.grid = config_.parallel_seq_q ? d.batch_heads * CeilDiv(d.seq_q, config_.q_tile)
+                                       : d.batch_heads;
+    spec.threads_per_block = 256;
+    spec.smem_per_block = 48 * 1024;
+    spec.regs_per_block_bytes = 128 * 1024;
+    spec.flops = 4 * d.batch_heads * d.seq_q * d.seq_kv * d.head_dim +
+                 5 * d.batch_heads * d.seq_q * d.seq_kv;
+    spec.compute_efficiency = config_.efficiency;
+    spec.bandwidth_efficiency = 0.9;
+
+    auto add_read = [&](const std::string& tname, std::int64_t bytes, std::int64_t per_block,
+                        bool shared) {
+      TensorTraffic r;
+      r.tensor = tname;
+      r.unique_bytes = bytes;
+      r.per_block_bytes = per_block;
+      r.shared_across_blocks = shared;
+      r.base_address = addresses->Assign(tname, bytes);
+      spec.reads.push_back(std::move(r));
+    };
+
+    std::int64_t q_bytes = d.batch_heads * d.seq_q * d.head_dim * eb;
+    std::int64_t kv_bytes = d.batch_heads * d.seq_kv * d.head_dim * eb;
+    std::int64_t q_per_block = config_.parallel_seq_q ? config_.q_tile * d.head_dim * eb
+                                                      : d.seq_q * d.head_dim * eb;
+    // K/V are streamed fully by every block that shares the head.
+    std::int64_t kv_per_block = d.seq_kv * d.head_dim * eb;
+    add_read(GraphInputName(graph, 0), q_bytes, q_per_block, false);
+    add_read(GraphInputName(graph, 1), kv_bytes, kv_per_block, config_.parallel_seq_q);
+    add_read(GraphInputName(graph, 2), kv_bytes, kv_per_block, config_.parallel_seq_q);
+
+    TensorTraffic w;
+    const TensorInfo& out = graph.tensor(graph.OutputIds().front());
+    w.tensor = out.name;
+    w.unique_bytes = out.bytes();
+    w.per_block_bytes = std::max<std::int64_t>(1, out.bytes() / spec.grid);
+    w.base_address = addresses->Assign(out.name, w.unique_bytes);
+    spec.writes.push_back(std::move(w));
+
+    // Row statistics (m, l) spilled to global memory by the v1 dataflow.
+    if (!config_.parallel_seq_q) {
+      TensorTraffic stats;
+      stats.tensor = StrCat(graph.name(), ".softmax_stats");
+      stats.unique_bytes = d.batch_heads * d.seq_q * 8;
+      stats.per_block_bytes = std::max<std::int64_t>(1, stats.unique_bytes / spec.grid);
+      stats.base_address = addresses->Assign(stats.tensor, stats.unique_bytes);
+      spec.writes.push_back(std::move(stats));
+    }
+    return {spec};
+  }
+
+ private:
+  static std::string GraphInputName(const Graph& graph, int index) {
+    std::vector<TensorId> inputs = graph.InputIds();
+    if (index < static_cast<int>(inputs.size())) {
+      return graph.tensor(inputs[static_cast<size_t>(index)]).name;
+    }
+    return StrCat(graph.name(), ".in", index);
+  }
+
+  FlashConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Baseline> MakeFlashAttention1() {
+  FlashConfig c;
+  c.name = "FlashAttention";
+  c.parallel_seq_q = false;
+  c.efficiency = 0.5;
+  c.needs_sm80 = true;
+  return std::make_unique<FlashAttentionBaseline>(std::move(c));
+}
+
+std::unique_ptr<Baseline> MakeFlashAttention2() {
+  FlashConfig c;
+  c.name = "FlashAttention 2";
+  c.parallel_seq_q = true;
+  c.efficiency = 0.7;
+  c.needs_sm80 = true;
+  return std::make_unique<FlashAttentionBaseline>(std::move(c));
+}
+
+std::unique_ptr<Baseline> MakeTritonFlashAttention() {
+  FlashConfig c;
+  c.name = "Triton FlashAttention";
+  c.parallel_seq_q = true;
+  c.efficiency = 0.52;
+  c.needs_sm80 = false;
+  return std::make_unique<FlashAttentionBaseline>(std::move(c));
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,66 @@
+// Baseline implementations the paper evaluates against (Sec. 6).
+//
+// Every baseline is a *planner*: it maps an operator graph to the kernel
+// sequence its real counterpart would launch. What distinguishes baselines
+// is exactly what the paper measures — which fusions each can express:
+//   * PyTorch eager          — one kernel per operator
+//   * cuBLAS                 — unfused, library GEMMs
+//   * cuBLASLt               — GEMM + element-wise epilogue fusion
+//   * PyTorch Op / Apex / Triton LayerNorm — hand-fused LN kernels
+//   * FlashAttention (1, 2, Triton)        — hand-fused MHA kernels
+//   * AStitch (BladeDISC)    — fuses memory-intensive ops only
+//   * Welder (NNFusion)      — tile-graph fusion, no dependency transforms
+//   * TensorRT / Kernl       — pattern libraries of hand-tuned kernels
+#ifndef SPACEFUSION_SRC_BASELINES_BASELINE_H_
+#define SPACEFUSION_SRC_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/kernel_library.h"
+#include "src/graph/graph.h"
+#include "src/sim/arch.h"
+
+namespace spacefusion {
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  virtual std::string name() const = 0;
+
+  // Architecture/pattern support gaps of the real systems (e.g.
+  // FlashAttention's CUDA kernels do not support Volta; NNFusion and
+  // BladeDISC lack full Ampere/Hopper support in the paper's setup).
+  virtual bool Supports(const Graph& graph, const GpuArch& arch) const { return true; }
+
+  // Kernel sequence for one subprogram.
+  virtual std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                                       AddressMap* addresses) const = 0;
+};
+
+// --- Unfused / library baselines -----------------------------------------
+std::unique_ptr<Baseline> MakePyTorchBaseline();
+std::unique_ptr<Baseline> MakeCublasBaseline();
+std::unique_ptr<Baseline> MakeCublasLtBaseline();
+
+// --- Hand-fused LayerNorm kernels -----------------------------------------
+std::unique_ptr<Baseline> MakeTorchOpLayerNorm();
+std::unique_ptr<Baseline> MakeApexLayerNorm();
+std::unique_ptr<Baseline> MakeTritonLayerNorm();
+
+// --- Hand-fused attention kernels ------------------------------------------
+std::unique_ptr<Baseline> MakeFlashAttention1();
+std::unique_ptr<Baseline> MakeFlashAttention2();
+std::unique_ptr<Baseline> MakeTritonFlashAttention();
+
+// --- Compiler baselines -----------------------------------------------------
+std::unique_ptr<Baseline> MakeAStitchBaseline();   // BladeDISC
+std::unique_ptr<Baseline> MakeWelderBaseline();    // NNFusion
+std::unique_ptr<Baseline> MakeTensorRtBaseline();
+std::unique_ptr<Baseline> MakeKernlBaseline();
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_BASELINES_BASELINE_H_

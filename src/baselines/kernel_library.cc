@@ -1,0 +1,254 @@
+#include "src/baselines/kernel_library.h"
+
+#include <algorithm>
+
+#include "src/support/math_util.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+std::int64_t TensorBytes(const Graph& graph, TensorId id) { return graph.tensor(id).bytes(); }
+
+bool IsSharedBroadcastOperand(const Shape& operand, const Shape& out) {
+  if (operand == out) {
+    return false;
+  }
+  if (operand.rank() < out.rank()) {
+    return true;  // broadcasts along leading dims: every block re-reads it
+  }
+  // Same rank: the operand is partitioned iff its broadcast (1-extent) axes
+  // all come *after* its last matching axis — then it lays out contiguously
+  // with the row-major output blocks ([M,1] vs [M,N]). A broadcast axis
+  // before a matching one ([1,N] vs [M,N]) makes every block re-read it.
+  int last_match = -1;
+  for (int i = 0; i < operand.rank(); ++i) {
+    if (operand.dim(i) == out.dim(i) && out.dim(i) > 1) {
+      last_match = i;
+    }
+  }
+  for (int i = 0; i < last_match; ++i) {
+    if (operand.dim(i) == 1 && out.dim(i) > 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+KernelSpec MakeGemmKernel(const std::string& name, std::int64_t batch, std::int64_t m,
+                          std::int64_t n, std::int64_t k, std::int64_t elem_bytes,
+                          AddressMap* addresses, const std::string& a_name,
+                          const std::string& b_name, const std::string& out_name,
+                          double efficiency) {
+  KernelSpec spec;
+  spec.name = name;
+  // Library GEMMs tile the output at 128x128, shrinking tiles for skinny
+  // problems until the launch can fill the machine (cuBLAS heuristics).
+  std::int64_t tile_m = std::min<std::int64_t>(128, m);
+  std::int64_t tile_n = std::min<std::int64_t>(128, n);
+  auto grid_of = [&]() { return batch * CeilDiv(m, tile_m) * CeilDiv(n, tile_n); };
+  while (grid_of() < 128 && std::max(tile_m, tile_n) > 32) {
+    if (tile_m >= tile_n) {
+      tile_m /= 2;
+    } else {
+      tile_n /= 2;
+    }
+  }
+  spec.grid = grid_of();
+  spec.threads_per_block = 256;
+  spec.smem_per_block = std::min<std::int64_t>(
+      64 * 1024, (tile_m + tile_n) * std::min<std::int64_t>(k, 64) * elem_bytes);
+  spec.regs_per_block_bytes = 128 * 1024;
+  spec.flops = 2 * batch * m * n * k;
+  // Efficiency degrades for skinny problems that cannot fill the MMA tiles.
+  double shape_eff = std::min(1.0, static_cast<double>(std::min(m, n)) / 64.0);
+  spec.compute_efficiency = efficiency * std::max(0.25, shape_eff);
+  spec.bandwidth_efficiency = 0.9;
+
+  TensorTraffic ra;
+  ra.tensor = a_name;
+  ra.unique_bytes = batch * m * k * elem_bytes;
+  ra.per_block_bytes = tile_m * k * elem_bytes;
+  ra.touches_per_byte = 1.0;
+  ra.shared_across_blocks = CeilDiv(n, tile_n) > 1;
+  ra.base_address = addresses->Assign(a_name, ra.unique_bytes);
+  spec.reads.push_back(ra);
+
+  TensorTraffic rb;
+  rb.tensor = b_name;
+  rb.unique_bytes = (batch > 1 ? batch : 1) * n * k * elem_bytes;
+  rb.per_block_bytes = tile_n * k * elem_bytes;
+  rb.touches_per_byte = 1.0;
+  rb.shared_across_blocks = CeilDiv(m, tile_m) > 1;
+  rb.base_address = addresses->Assign(b_name, rb.unique_bytes);
+  spec.reads.push_back(rb);
+
+  TensorTraffic wo;
+  wo.tensor = out_name;
+  wo.unique_bytes = batch * m * n * elem_bytes;
+  wo.per_block_bytes = tile_m * tile_n * elem_bytes;
+  wo.base_address = addresses->Assign(out_name, wo.unique_bytes);
+  spec.writes.push_back(wo);
+  return spec;
+}
+
+KernelSpec MakeMemoryBoundKernel(const std::string& name, const std::vector<NamedBytes>& reads,
+                                 const std::vector<NamedBytes>& writes, AddressMap* addresses,
+                                 std::int64_t flops) {
+  KernelSpec spec;
+  spec.name = name;
+  std::int64_t biggest = 1;
+  for (const NamedBytes& r : reads) {
+    biggest = std::max(biggest, r.bytes);
+  }
+  for (const NamedBytes& w : writes) {
+    biggest = std::max(biggest, w.bytes);
+  }
+  // One block per ~32KB of the dominant stream.
+  spec.grid = std::max<std::int64_t>(1, biggest / (32 * 1024));
+  spec.threads_per_block = 256;
+  spec.smem_per_block = 8 * 1024;
+  spec.regs_per_block_bytes = 32 * 1024;
+  spec.flops = flops;
+  spec.compute_efficiency = 0.5;
+
+  for (const NamedBytes& r : reads) {
+    TensorTraffic t;
+    t.tensor = r.name;
+    t.unique_bytes = r.bytes;
+    t.per_block_bytes =
+        r.shared ? r.bytes : std::max<std::int64_t>(1, r.bytes / spec.grid);
+    t.touches_per_byte = r.touches;
+    t.shared_across_blocks = r.shared;
+    t.base_address = addresses->Assign(r.name, r.bytes);
+    spec.reads.push_back(std::move(t));
+  }
+  for (const NamedBytes& w : writes) {
+    TensorTraffic t;
+    t.tensor = w.name;
+    t.unique_bytes = w.bytes;
+    t.per_block_bytes = std::max<std::int64_t>(1, w.bytes / spec.grid);
+    t.base_address = addresses->Assign(w.name, w.bytes);
+    spec.writes.push_back(std::move(t));
+  }
+  return spec;
+}
+
+namespace {
+
+// Detects the max/sub/exp/sum/div decomposition starting at op `i`; returns
+// the index of the div op, or -1.
+int MatchSoftmaxChain(const Graph& graph, int i) {
+  const int n = static_cast<int>(graph.ops().size());
+  if (i + 4 >= n) {
+    return -1;
+  }
+  const Op& mx = graph.op(i);
+  const Op& sub = graph.op(i + 1);
+  const Op& exp = graph.op(i + 2);
+  const Op& sum = graph.op(i + 3);
+  const Op& div = graph.op(i + 4);
+  bool ok = mx.kind == OpKind::kReduce && mx.attrs.reduce == ReduceKind::kMax &&
+            sub.kind == OpKind::kBinary && sub.attrs.binary == BinaryKind::kSub &&
+            sub.inputs.size() == 2 && sub.inputs[0] == mx.inputs[0] &&
+            sub.inputs[1] == mx.output && exp.kind == OpKind::kUnary &&
+            exp.attrs.unary == UnaryKind::kExp && exp.inputs[0] == sub.output &&
+            sum.kind == OpKind::kReduce && sum.attrs.reduce == ReduceKind::kSum &&
+            sum.inputs[0] == exp.output && div.kind == OpKind::kBinary &&
+            div.attrs.binary == BinaryKind::kDiv && div.inputs[0] == exp.output &&
+            div.inputs[1] == sum.output;
+  return ok ? i + 4 : -1;
+}
+
+}  // namespace
+
+std::vector<KernelSpec> PlanUnfused(const Graph& graph, AddressMap* addresses,
+                                    double gemm_efficiency, bool fuse_softmax) {
+  std::vector<KernelSpec> kernels;
+  // Multiply-by-scalar-constant ops following a matmul are folded into the
+  // GEMM's alpha (torch.baddbmm); their outputs alias the GEMM output.
+  std::vector<bool> folded(graph.ops().size(), false);
+  std::vector<TensorId> alias(graph.tensors().size(), kInvalidTensor);
+  for (const Op& op : graph.ops()) {
+    if (op.kind != OpKind::kBinary || op.attrs.binary != BinaryKind::kMul ||
+        op.inputs.size() != 2) {
+      continue;
+    }
+    TensorId value = op.inputs[0];
+    TensorId scalar = op.inputs[1];
+    if (graph.tensor(scalar).kind != TensorKind::kConstant) {
+      continue;
+    }
+    OpId prod = graph.producer(value);
+    if (prod >= 0 && graph.op(prod).kind == OpKind::kMatMul) {
+      folded[static_cast<size_t>(op.id)] = true;
+      alias[static_cast<size_t>(op.output)] = value;
+    }
+  }
+
+  auto resolve = [&alias](TensorId id) {
+    while (alias[static_cast<size_t>(id)] != kInvalidTensor) {
+      id = alias[static_cast<size_t>(id)];
+    }
+    return id;
+  };
+
+  for (int op_index = 0; op_index < static_cast<int>(graph.ops().size()); ++op_index) {
+    const Op& op = graph.op(op_index);
+    const TensorInfo& out = graph.tensor(op.output);
+    if (folded[static_cast<size_t>(op.id)]) {
+      continue;
+    }
+    if (fuse_softmax) {
+      int div_index = MatchSoftmaxChain(graph, op_index);
+      if (div_index >= 0) {
+        // torch.softmax: one kernel that reads the logits and writes the
+        // probabilities (row statistics stay on chip).
+        const TensorInfo& in = graph.tensor(resolve(op.inputs[0]));
+        const TensorInfo& probs = graph.tensor(graph.op(div_index).output);
+        std::vector<NamedBytes> reads{{in.name, in.bytes(), 1.0, false}};
+        kernels.push_back(MakeMemoryBoundKernel("softmax", reads,
+                                                {{probs.name, probs.bytes(), 1.0, false}},
+                                                addresses, in.shape.volume() * 10));
+        op_index = div_index;
+        continue;
+      }
+    }
+    if (op.kind == OpKind::kMatMul) {
+      const TensorInfo& a = graph.tensor(resolve(op.inputs[0]));
+      const TensorInfo& b = graph.tensor(resolve(op.inputs[1]));
+      const Shape& os = out.shape;
+      std::int64_t m = os.dim(os.rank() - 2);
+      std::int64_t n = os.dim(os.rank() - 1);
+      std::int64_t batch = os.volume() / (m * n);
+      const Shape& as = a.shape;
+      std::int64_t k = op.attrs.transpose_a ? as.dim(as.rank() - 2) : as.dim(as.rank() - 1);
+      kernels.push_back(MakeGemmKernel(op.name, batch, m, n, k, DTypeSize(out.dtype), addresses,
+                                       a.name, b.name, out.name, gemm_efficiency));
+      continue;
+    }
+    // Memory-intensive op: stream inputs, write output through global memory.
+    std::vector<NamedBytes> reads;
+    for (TensorId in : op.inputs) {
+      const TensorInfo& t = graph.tensor(resolve(in));
+      if (t.kind == TensorKind::kConstant) {
+        continue;
+      }
+      NamedBytes r;
+      r.name = t.name;
+      r.bytes = t.bytes();
+      r.shared = IsSharedBroadcastOperand(t.shape, out.shape);
+      reads.push_back(std::move(r));
+    }
+    std::vector<NamedBytes> writes;
+    writes.push_back({out.name, out.bytes(), 1.0, false});
+    std::int64_t flops = out.shape.volume();
+    if (op.kind == OpKind::kReduce) {
+      const TensorInfo& in = graph.tensor(op.inputs[0]);
+      flops = in.shape.volume();
+    }
+    kernels.push_back(MakeMemoryBoundKernel(op.name, reads, writes, addresses, flops));
+  }
+  return kernels;
+}
+
+}  // namespace spacefusion

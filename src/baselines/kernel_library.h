@@ -1,0 +1,51 @@
+// Shared constructors for baseline kernel specs: the analytic models of the
+// hand-written CUDA/Triton kernels the paper compares against.
+#ifndef SPACEFUSION_SRC_BASELINES_KERNEL_LIBRARY_H_
+#define SPACEFUSION_SRC_BASELINES_KERNEL_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/sim/kernel.h"
+
+namespace spacefusion {
+
+// A library GEMM (cuBLAS-class): 128x128-tiled, high tensor-core efficiency.
+// `extra_reads` model fused epilogue operands (bias, residual).
+KernelSpec MakeGemmKernel(const std::string& name, std::int64_t batch, std::int64_t m,
+                          std::int64_t n, std::int64_t k, std::int64_t elem_bytes,
+                          AddressMap* addresses, const std::string& a_name,
+                          const std::string& b_name, const std::string& out_name,
+                          double efficiency = 0.85);
+
+// A memory-bound kernel: streams its reads once and writes its outputs once.
+struct NamedBytes {
+  std::string name;
+  std::int64_t bytes = 0;
+  double touches = 1.0;
+  bool shared = false;  // broadcast operand (read by all blocks)
+};
+KernelSpec MakeMemoryBoundKernel(const std::string& name, const std::vector<NamedBytes>& reads,
+                                 const std::vector<NamedBytes>& writes, AddressMap* addresses,
+                                 std::int64_t flops = 0);
+
+// One kernel per primitive op (the PyTorch-eager execution model). The
+// gemm_efficiency distinguishes "PyTorch" (0.80) from "cuBLAS-tuned" (0.85).
+// `fuse_softmax` collapses max/sub/exp/sum/div chains into a single kernel,
+// matching torch.softmax (one CUDA kernel in eager mode).
+std::vector<KernelSpec> PlanUnfused(const Graph& graph, AddressMap* addresses,
+                                    double gemm_efficiency, bool fuse_softmax = true);
+
+// Bytes of one tensor; convenience for planners.
+std::int64_t TensorBytes(const Graph& graph, TensorId id);
+
+// True when `operand` is re-read by every output block of an element-wise
+// kernel over `out`: the operand broadcasts along *leading* output dims
+// (bias [N] against [M, N]). Row statistics ([M, 1] against [M, N]) align
+// with the row-major block partition and are read by their own block only.
+bool IsSharedBroadcastOperand(const Shape& operand, const Shape& out);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_BASELINES_KERNEL_LIBRARY_H_

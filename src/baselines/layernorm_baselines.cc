@@ -1,0 +1,91 @@
+// Hand-fused LayerNorm baselines (paper Fig. 12).
+//
+// All three fuse the nine MI ops of the LN subgraph into one kernel; they
+// differ in how many passes over the input their algorithms make and in the
+// achieved bandwidth of their implementations:
+//   * PyTorch Op (torch.nn.functional.layer_norm): Welford single-pass,
+//     well-tuned CUDA;
+//   * NVIDIA Apex: two-pass (mean, then variance) persistent kernel;
+//   * Triton tutorial LN: two-pass with a less-tuned access pattern.
+#include "src/baselines/baseline.h"
+#include "src/baselines/patterns.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Shapes of the LN problem: total input bytes, rows.
+struct LnShape {
+  std::int64_t in_bytes = 0;
+  std::int64_t out_bytes = 0;
+  std::int64_t weight_bytes = 0;
+  std::string in_name, out_name;
+};
+
+LnShape ExtractLn(const Graph& graph) {
+  LnShape s;
+  for (const TensorInfo& t : graph.tensors()) {
+    if (t.kind == TensorKind::kInput) {
+      s.in_bytes = t.bytes();
+      s.in_name = t.name;
+    } else if (t.kind == TensorKind::kOutput) {
+      s.out_bytes = t.bytes();
+      s.out_name = t.name;
+    } else if (t.kind == TensorKind::kWeight) {
+      s.weight_bytes += t.bytes();
+    }
+  }
+  return s;
+}
+
+class FusedLnBaseline : public Baseline {
+ public:
+  FusedLnBaseline(std::string name, double input_passes, double efficiency)
+      : name_(std::move(name)), input_passes_(input_passes), efficiency_(efficiency) {}
+
+  std::string name() const override { return name_; }
+
+  bool Supports(const Graph& graph, const GpuArch& arch) const override {
+    return DetectPattern(graph) == GraphPattern::kLayerNorm;
+  }
+
+  std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                               AddressMap* addresses) const override {
+    LnShape s = ExtractLn(graph);
+    std::vector<NamedBytes> reads;
+    reads.push_back({s.in_name, s.in_bytes, input_passes_, false});
+    if (s.weight_bytes > 0) {
+      reads.push_back({StrCat(graph.name(), ".gamma_beta"), s.weight_bytes, 1.0, true});
+    }
+    KernelSpec spec = MakeMemoryBoundKernel(StrCat(name_, ".layer_norm"), reads,
+                                            {{s.out_name, s.out_bytes, 1.0, false}}, addresses,
+                                            /*flops=*/s.in_bytes * 4);
+    spec.bandwidth_efficiency = efficiency_;
+    return {spec};
+  }
+
+ private:
+  std::string name_;
+  double input_passes_;
+  double efficiency_;
+};
+
+}  // namespace
+
+std::unique_ptr<Baseline> MakeTorchOpLayerNorm() {
+  return std::make_unique<FusedLnBaseline>("PyTorch Op", /*input_passes=*/1.12,
+                                           /*efficiency=*/0.88);
+}
+
+std::unique_ptr<Baseline> MakeApexLayerNorm() {
+  return std::make_unique<FusedLnBaseline>("NVIDIA Apex", /*input_passes=*/2.0,
+                                           /*efficiency=*/0.8);
+}
+
+std::unique_ptr<Baseline> MakeTritonLayerNorm() {
+  return std::make_unique<FusedLnBaseline>("LN Triton", /*input_passes=*/2.6,
+                                           /*efficiency=*/0.62);
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,116 @@
+#include "src/baselines/patterns.h"
+
+namespace spacefusion {
+
+const char* GraphPatternName(GraphPattern pattern) {
+  switch (pattern) {
+    case GraphPattern::kMha:
+      return "mha";
+    case GraphPattern::kLayerNorm:
+      return "layernorm";
+    case GraphPattern::kGemmChain:
+      return "gemm-chain";
+    case GraphPattern::kElementwise:
+      return "elementwise";
+    case GraphPattern::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+namespace {
+
+bool HasSoftmaxCore(const Graph& graph) {
+  // max -> sub -> exp -> sum -> div along a single chain.
+  for (const Op& op : graph.ops()) {
+    if (op.kind != OpKind::kReduce || op.attrs.reduce != ReduceKind::kMax) {
+      continue;
+    }
+    for (OpId sub_id : graph.consumers(op.output)) {
+      const Op& sub = graph.op(sub_id);
+      if (sub.kind != OpKind::kBinary || sub.attrs.binary != BinaryKind::kSub) {
+        continue;
+      }
+      for (OpId exp_id : graph.consumers(sub.output)) {
+        const Op& exp = graph.op(exp_id);
+        if (exp.kind != OpKind::kUnary || exp.attrs.unary != UnaryKind::kExp) {
+          continue;
+        }
+        for (OpId sum_id : graph.consumers(exp.output)) {
+          const Op& sum = graph.op(sum_id);
+          if (sum.kind == OpKind::kReduce && sum.attrs.reduce == ReduceKind::kSum) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool HasVarianceCore(const Graph& graph) {
+  // mean -> sub -> square -> mean (the LayerNorm variance chain).
+  for (const Op& op : graph.ops()) {
+    if (op.kind != OpKind::kReduce || op.attrs.reduce != ReduceKind::kMean) {
+      continue;
+    }
+    for (OpId sub_id : graph.consumers(op.output)) {
+      const Op& sub = graph.op(sub_id);
+      if (sub.kind != OpKind::kBinary || sub.attrs.binary != BinaryKind::kSub) {
+        continue;
+      }
+      for (OpId sq_id : graph.consumers(sub.output)) {
+        const Op& sq = graph.op(sq_id);
+        if (sq.kind == OpKind::kUnary && sq.attrs.unary == UnaryKind::kSquare) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+GraphPattern DetectPattern(const Graph& graph) {
+  int matmuls = 0;
+  for (const Op& op : graph.ops()) {
+    if (op.kind == OpKind::kMatMul) {
+      ++matmuls;
+    }
+  }
+  if (matmuls >= 2 && HasSoftmaxCore(graph)) {
+    return GraphPattern::kMha;
+  }
+  if (matmuls == 0 && HasVarianceCore(graph)) {
+    return GraphPattern::kLayerNorm;
+  }
+  if (matmuls > 0) {
+    return GraphPattern::kGemmChain;
+  }
+  return GraphPattern::kElementwise;
+}
+
+MhaDims ExtractMhaDims(const Graph& graph) {
+  MhaDims dims;
+  for (const Op& op : graph.ops()) {
+    if (op.kind != OpKind::kMatMul) {
+      continue;
+    }
+    const Shape& out = graph.tensor(op.output).shape;
+    const Shape& a = graph.tensor(op.inputs[0]).shape;
+    // The first matmul (QK^T): out [bh, sq, skv].
+    std::int64_t batch = 1;
+    for (int i = 0; i < out.rank() - 2; ++i) {
+      batch *= out.dim(i);
+    }
+    dims.batch_heads = batch;
+    dims.seq_q = out.dim(out.rank() - 2);
+    dims.seq_kv = out.dim(out.rank() - 1);
+    dims.head_dim = op.attrs.transpose_a ? a.dim(a.rank() - 2) : a.dim(a.rank() - 1);
+    break;
+  }
+  return dims;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,42 @@
+// Structural pattern detection over operator graphs.
+//
+// Library-backed baselines (TensorRT, Kernl, FlashAttention) dispatch on
+// *recognized* computation patterns rather than scheduling arbitrary graphs;
+// this module detects those patterns structurally (not by name) so the
+// baseline planners behave like their real counterparts: great on matched
+// patterns, generic elsewhere.
+#ifndef SPACEFUSION_SRC_BASELINES_PATTERNS_H_
+#define SPACEFUSION_SRC_BASELINES_PATTERNS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace spacefusion {
+
+enum class GraphPattern {
+  kMha,        // matmul .. softmax(max/sub/exp/sum/div) .. matmul
+  kLayerNorm,  // mean/sub/square/mean/sqrt normalization chain
+  kGemmChain,  // matmuls with element-wise epilogues (MLP / LSTM / FFN)
+  kElementwise,  // MI ops only
+  kGeneric,
+};
+
+const char* GraphPatternName(GraphPattern pattern);
+
+GraphPattern DetectPattern(const Graph& graph);
+
+// MHA geometry extracted from a detected attention graph.
+struct MhaDims {
+  std::int64_t batch_heads = 1;
+  std::int64_t seq_q = 1;
+  std::int64_t seq_kv = 1;
+  std::int64_t head_dim = 1;
+};
+
+// Valid only when DetectPattern(graph) == kMha.
+MhaDims ExtractMhaDims(const Graph& graph);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_BASELINES_PATTERNS_H_

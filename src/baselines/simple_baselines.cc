@@ -1,0 +1,142 @@
+#include "src/baselines/baseline.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+class PyTorchBaseline : public Baseline {
+ public:
+  std::string name() const override { return "PyTorch"; }
+  std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                               AddressMap* addresses) const override {
+    return PlanUnfused(graph, addresses, /*gemm_efficiency=*/0.78);
+  }
+};
+
+class CublasBaseline : public Baseline {
+ public:
+  std::string name() const override { return "cuBLAS"; }
+  std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                               AddressMap* addresses) const override {
+    return PlanUnfused(graph, addresses, /*gemm_efficiency=*/0.85);
+  }
+};
+
+// cuBLASLt: each GEMM absorbs the single-consumer chain of element-wise ops
+// that follows it (bias add, activation, residual) into its epilogue.
+class CublasLtBaseline : public Baseline {
+ public:
+  std::string name() const override { return "cuBLASLt"; }
+
+  std::vector<KernelSpec> Plan(const Graph& graph, const GpuArch& arch,
+                               AddressMap* addresses) const override {
+    std::vector<bool> absorbed(graph.ops().size(), false);
+
+    // Mark epilogue ops: walk forward from each matmul while the chain is a
+    // single-consumer element-wise op.
+    std::vector<TensorId> gemm_final_output(graph.ops().size(), kInvalidTensor);
+    std::vector<std::vector<TensorId>> gemm_extra_reads(graph.ops().size());
+    for (const Op& op : graph.ops()) {
+      if (op.kind != OpKind::kMatMul) {
+        continue;
+      }
+      TensorId cursor = op.output;
+      gemm_final_output[static_cast<size_t>(op.id)] = cursor;
+      while (true) {
+        const std::vector<OpId>& consumers = graph.consumers(cursor);
+        if (consumers.size() != 1) {
+          break;
+        }
+        const Op& next = graph.op(consumers[0]);
+        if (next.kind != OpKind::kUnary && next.kind != OpKind::kBinary) {
+          break;
+        }
+        // The epilogue operand must be available before the GEMM launches:
+        // a kernel input (bias, residual) or an intermediate produced by an
+        // *earlier* kernel (beta=1 accumulation — this is how cuBLASLt adds
+        // the first GEMM's output inside the second GEMM of the LSTM cell).
+        bool ok = true;
+        for (TensorId in : next.inputs) {
+          if (in == cursor) {
+            continue;
+          }
+          const TensorInfo& t = graph.tensor(in);
+          bool intermediate = t.kind == TensorKind::kIntermediate || t.kind == TensorKind::kOutput;
+          if (intermediate && (graph.producer(in) < 0 || graph.producer(in) >= op.id ||
+                               next.attrs.binary != BinaryKind::kAdd ||
+                               next.kind != OpKind::kBinary)) {
+            ok = false;
+          } else if (t.kind != TensorKind::kConstant) {
+            gemm_extra_reads[static_cast<size_t>(op.id)].push_back(in);
+          }
+        }
+        if (!ok) {
+          break;
+        }
+        absorbed[static_cast<size_t>(next.id)] = true;
+        cursor = next.output;
+        gemm_final_output[static_cast<size_t>(op.id)] = cursor;
+      }
+    }
+
+    std::vector<KernelSpec> kernels;
+    for (const Op& op : graph.ops()) {
+      if (absorbed[static_cast<size_t>(op.id)]) {
+        continue;
+      }
+      if (op.kind == OpKind::kMatMul) {
+        const TensorInfo& a = graph.tensor(op.inputs[0]);
+        const TensorInfo& b = graph.tensor(op.inputs[1]);
+        const TensorInfo& out = graph.tensor(gemm_final_output[static_cast<size_t>(op.id)]);
+        const Shape& os = graph.tensor(op.output).shape;
+        std::int64_t m = os.dim(os.rank() - 2);
+        std::int64_t n = os.dim(os.rank() - 1);
+        std::int64_t batch = os.volume() / (m * n);
+        const Shape& as = a.shape;
+        std::int64_t k = op.attrs.transpose_a ? as.dim(as.rank() - 2) : as.dim(as.rank() - 1);
+        KernelSpec spec = MakeGemmKernel(StrCat(op.name, "+epilogue"), batch, m, n, k,
+                                         DTypeSize(out.dtype), addresses, a.name, b.name,
+                                         out.name, /*efficiency=*/0.85);
+        for (TensorId extra : gemm_extra_reads[static_cast<size_t>(op.id)]) {
+          const TensorInfo& t = graph.tensor(extra);
+          TensorTraffic r;
+          r.tensor = t.name;
+          r.unique_bytes = t.bytes();
+          r.per_block_bytes = std::max<std::int64_t>(
+              1, t.bytes() / std::max<std::int64_t>(1, spec.grid));
+          r.shared_across_blocks = IsSharedBroadcastOperand(t.shape, os);
+          r.base_address = addresses->Assign(t.name, r.unique_bytes);
+          spec.reads.push_back(std::move(r));
+        }
+        kernels.push_back(std::move(spec));
+        continue;
+      }
+      // Non-absorbed MI op: one memory-bound kernel.
+      std::vector<NamedBytes> reads;
+      for (TensorId in : op.inputs) {
+        const TensorInfo& t = graph.tensor(in);
+        if (t.kind == TensorKind::kConstant) {
+          continue;
+        }
+        NamedBytes r;
+        r.name = t.name;
+        r.bytes = t.bytes();
+        r.shared = IsSharedBroadcastOperand(t.shape, graph.tensor(op.output).shape);
+        reads.push_back(std::move(r));
+      }
+      const TensorInfo& out = graph.tensor(op.output);
+      kernels.push_back(MakeMemoryBoundKernel(op.name, reads, {{out.name, out.bytes(), 1.0, false}},
+                                              addresses, out.shape.volume()));
+    }
+    return kernels;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Baseline> MakePyTorchBaseline() { return std::make_unique<PyTorchBaseline>(); }
+std::unique_ptr<Baseline> MakeCublasBaseline() { return std::make_unique<CublasBaseline>(); }
+std::unique_ptr<Baseline> MakeCublasLtBaseline() { return std::make_unique<CublasLtBaseline>(); }
+
+}  // namespace spacefusion

@@ -1,0 +1,388 @@
+#include "src/codegen/triton_codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Sanitizes a tensor/op name into a Python identifier.
+std::string Ident(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out = "t_" + out;
+  }
+  return out;
+}
+
+const char* UnaryExpr(UnaryKind kind) {
+  switch (kind) {
+    case UnaryKind::kExp:
+      return "tl.exp(%s)";
+    case UnaryKind::kRelu:
+      return "tl.maximum(%s, 0.0)";
+    case UnaryKind::kGelu:
+      return "0.5 * %s * (1.0 + tl.tanh(0.7978845608 * (%s + 0.044715 * %s * %s * %s)))";
+    case UnaryKind::kSigmoid:
+      return "tl.sigmoid(%s)";
+    case UnaryKind::kTanh:
+      return "tl.tanh(%s)";
+    case UnaryKind::kSqrt:
+      return "tl.sqrt(%s)";
+    case UnaryKind::kRsqrt:
+      return "1.0 / tl.sqrt(%s)";
+    case UnaryKind::kNeg:
+      return "-%s";
+    case UnaryKind::kSquare:
+      return "%s * %s";
+    case UnaryKind::kRecip:
+      return "1.0 / %s";
+  }
+  return "%s";
+}
+
+std::string FormatUnary(UnaryKind kind, const std::string& x) {
+  std::string pattern = UnaryExpr(kind);
+  std::string out;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '%' && i + 1 < pattern.size() && pattern[i + 1] == 's') {
+      out += x;
+      ++i;
+    } else {
+      out.push_back(pattern[i]);
+    }
+  }
+  return out;
+}
+
+std::string BinaryExpr(BinaryKind kind, const std::string& a, const std::string& b) {
+  switch (kind) {
+    case BinaryKind::kAdd:
+      return StrCat(a, " + ", b);
+    case BinaryKind::kSub:
+      return StrCat(a, " - ", b);
+    case BinaryKind::kMul:
+      return StrCat(a, " * ", b);
+    case BinaryKind::kDiv:
+      return StrCat(a, " / ", b);
+    case BinaryKind::kMax:
+      return StrCat("tl.maximum(", a, ", ", b, ")");
+  }
+  return a;
+}
+
+class KernelEmitter {
+ public:
+  KernelEmitter(const SmgSchedule& schedule, const CodegenOptions& options)
+      : sched_(schedule), graph_(schedule.graph), options_(options) {}
+
+  std::string Emit() {
+    CollectNames();
+    EmitSignature();
+    EmitGridDecomposition();
+    EmitStagedLoads();
+    if (sched_.has_temporal && sched_.NumIntraBlocks() > 1) {
+      EmitRunningStateInit();
+      EmitTemporalLoopBody();
+    } else {
+      EmitStraightLineBody();
+    }
+    EmitStores();
+    if (options_.emit_launch_stub) {
+      EmitLaunchStub();
+    }
+    return body_.str();
+  }
+
+ private:
+  void Line(const std::string& text) { body_ << indent_ << text << "\n"; }
+  void Blank() { body_ << "\n"; }
+
+  std::string Var(TensorId id) const { return names_.at(id); }
+
+  bool IsAggregated(OpId op) const {
+    for (const ReductionAggregation& agg : sched_.plan.aggregations) {
+      if (agg.op == op) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const ReductionAggregation* AggregationOf(OpId op) const {
+    for (const ReductionAggregation& agg : sched_.plan.aggregations) {
+      if (agg.op == op) {
+        return &agg;
+      }
+    }
+    return nullptr;
+  }
+
+  void CollectNames() {
+    for (const TensorInfo& t : graph_.tensors()) {
+      names_[t.id] = Ident(t.name);
+    }
+  }
+
+  void EmitSignature() {
+    body_ << "@triton.jit\n";
+    body_ << "def " << Ident(graph_.name()) << "_kernel(\n";
+    std::vector<std::string> params;
+    for (const TensorInfo& t : graph_.tensors()) {
+      if (t.kind == TensorKind::kInput || t.kind == TensorKind::kWeight ||
+          t.kind == TensorKind::kOutput) {
+        params.push_back(StrCat(Var(t.id), "_ptr"));
+      }
+    }
+    for (const DimSlice& s : sched_.spatial) {
+      params.push_back(StrCat("BLOCK_", sched_.built.smg.dim(s.dim).name,
+                              ": tl.constexpr"));
+    }
+    if (sched_.has_temporal) {
+      params.push_back("STEP: tl.constexpr");
+    }
+    body_ << "    " << StrJoin(params, ", ") << "\n):\n";
+    indent_ = "    ";
+    if (options_.emit_comments) {
+      Line(StrCat("# ", sched_.ToString()));
+    }
+  }
+
+  void EmitGridDecomposition() {
+    if (options_.emit_comments) {
+      Line("# spatial slicing: one program per SMG block");
+    }
+    Line("pid = tl.program_id(0)");
+    const Smg& smg = sched_.built.smg;
+    for (size_t i = 0; i < sched_.spatial.size(); ++i) {
+      const DimSlice& s = sched_.spatial[i];
+      std::int64_t blocks = (smg.dim(s.dim).extent + s.block - 1) / s.block;
+      Line(StrCat("pid_", smg.dim(s.dim).name, " = pid % ", blocks));
+      if (i + 1 < sched_.spatial.size()) {
+        Line(StrCat("pid = pid // ", blocks));
+      }
+    }
+  }
+
+  void EmitStagedLoads() {
+    Blank();
+    if (options_.emit_comments) {
+      Line("# staged input tiles (shared memory)");
+    }
+    for (const TensorInfo& t : graph_.tensors()) {
+      if (t.kind != TensorKind::kInput && t.kind != TensorKind::kWeight) {
+        continue;
+      }
+      MemLevel level = sched_.memory.tensor_level[static_cast<size_t>(t.id)];
+      // Tensors sliced along the temporal dim are loaded inside the loop.
+      bool temporal_sliced = sched_.has_temporal &&
+                             sched_.built.AxisOfDim(t.id, sched_.temporal.dim) >= 0;
+      if (temporal_sliced) {
+        continue;
+      }
+      if (level == MemLevel::kShared) {
+        Line(StrCat(Var(t.id), " = tl.load(", Var(t.id), "_ptr + block_offsets)"));
+      } else if (level == MemLevel::kGlobalStreamed && options_.emit_comments) {
+        Line(StrCat("# ", Var(t.id), ": streamed from global memory (L2-resident)"));
+      }
+    }
+    for (const TensorInfo& t : graph_.tensors()) {
+      if (t.kind == TensorKind::kConstant) {
+        Line(StrCat(Var(t.id), " = ", t.constant_value));
+      }
+    }
+  }
+
+  void EmitRunningStateInit() {
+    Blank();
+    if (options_.emit_comments) {
+      Line("# running reductions (Update-then-Aggregate state)");
+    }
+    for (const ReductionAggregation& agg : sched_.plan.aggregations) {
+      const Op& op = graph_.op(agg.op);
+      std::string init =
+          agg.combiner == ReduceOpKind::kMax ? "-float('inf')" : "0.0";
+      Line(StrCat(Var(op.output), " = tl.full(acc_shape_", Var(op.output), ", ", init,
+                  ", tl.float32)"));
+    }
+  }
+
+  std::string OpExpression(const Op& op, bool sliced_operands) {
+    switch (op.kind) {
+      case OpKind::kMatMul: {
+        std::string a = Var(op.inputs[0]);
+        std::string b = Var(op.inputs[1]);
+        if (op.attrs.transpose_a) {
+          a = StrCat("tl.trans(", a, ")");
+        }
+        if (op.attrs.transpose_b) {
+          b = StrCat("tl.trans(", b, ")");
+        }
+        return StrCat("tl.dot(", a, ", ", b, ")");
+      }
+      case OpKind::kUnary:
+        return FormatUnary(op.attrs.unary, Var(op.inputs[0]));
+      case OpKind::kBinary:
+        return BinaryExpr(op.attrs.binary, Var(op.inputs[0]), Var(op.inputs[1]));
+      case OpKind::kReduce: {
+        const char* fn = op.attrs.reduce == ReduceKind::kMax ? "tl.max" : "tl.sum";
+        std::string expr = StrCat(fn, "(", Var(op.inputs[0]), ", axis=1)");
+        if (op.attrs.reduce == ReduceKind::kMean && !sliced_operands) {
+          expr = StrCat(expr, " / ", "N");
+        }
+        return expr;
+      }
+    }
+    return "";
+  }
+
+  void EmitAggregatedOp(const Op& op, const ReductionAggregation& agg) {
+    std::string local = StrCat(Var(op.output), "_local");
+    Line(StrCat(local, " = ", OpExpression(op, /*sliced_operands=*/true)));
+    std::string old_value = Var(op.output);
+    // Update-then-Aggregate: rescale the running value first (Fig. 7).
+    for (const UpdateFactor& factor : agg.update) {
+      const Op& src = graph_.op(factor.source);
+      std::string src_new = StrCat(Var(src.output), "_new");
+      std::string mult;
+      if (factor.prim == FactorPrim::kExpNeg) {
+        mult = StrCat("tl.exp(", factor.power, " * (", Var(src.output), " - ", src_new, "))");
+      } else if (factor.power == -1) {
+        mult = StrCat("(", Var(src.output), " / ", src_new, ")");
+      } else {
+        mult = StrCat("(", src_new, " / ", Var(src.output), ") ** ", factor.power);
+      }
+      old_value = StrCat(old_value, " * ", mult);
+      updated_sources_.insert(factor.source);
+    }
+    std::string combined =
+        agg.combiner == ReduceOpKind::kMax
+            ? StrCat("tl.maximum(", old_value, ", ", local, ")")
+            : StrCat(old_value, " + ", local);
+    std::string target = updated_sources_.count(op.id) > 0
+                             ? StrCat(Var(op.output), "_new")
+                             : Var(op.output);
+    Line(StrCat(target, " = ", combined));
+  }
+
+  void EmitOps() {
+    // Running reductions referenced by later update factors publish under a
+    // `_new` name first; find them up front.
+    updated_sources_.clear();
+    for (const ReductionAggregation& agg : sched_.plan.aggregations) {
+      for (const UpdateFactor& factor : agg.update) {
+        updated_sources_.insert(factor.source);
+      }
+    }
+
+    for (const Op& op : graph_.ops()) {
+      const ReductionAggregation* agg = AggregationOf(op.id);
+      if (agg != nullptr && sched_.NumIntraBlocks() > 1) {
+        if (options_.emit_comments) {
+          Line(StrCat("# ", op.name, ": ",
+                      agg->NeedsUpdate() ? "Update-then-Aggregate" : "Simple Aggregate"));
+        }
+        EmitAggregatedOp(op, *agg);
+        continue;
+      }
+      Line(StrCat(Var(op.output), " = ", OpExpression(op, false)));
+    }
+    // Roll `_new` names over for the next intra-block.
+    for (OpId src : updated_sources_) {
+      if (sched_.NumIntraBlocks() > 1) {
+        Line(StrCat(Var(graph_.op(src).output), " = ", Var(graph_.op(src).output), "_new"));
+      }
+    }
+  }
+
+  void EmitTemporalLoopBody() {
+    Blank();
+    const Smg& smg = sched_.built.smg;
+    const std::string dim_name = smg.dim(sched_.temporal.dim).name;
+    if (options_.emit_comments) {
+      Line(StrCat("# temporal slicing along ", dim_name, " (",
+                  std::to_string(sched_.NumIntraBlocks()), " intra-blocks of ",
+                  std::to_string(sched_.temporal.block), ")"));
+    }
+    Line(StrCat("for ", dim_name, "0 in range(0, ", smg.dim(sched_.temporal.dim).extent,
+                ", STEP):"));
+    indent_ += "    ";
+    for (const TensorInfo& t : graph_.tensors()) {
+      bool temporal_sliced = sched_.built.AxisOfDim(t.id, sched_.temporal.dim) >= 0;
+      bool boundary = t.kind == TensorKind::kInput || t.kind == TensorKind::kWeight;
+      if (boundary && temporal_sliced) {
+        Line(StrCat(Var(t.id), " = tl.load(", Var(t.id), "_ptr + ", dim_name,
+                    "0 * stride + tile_offsets)"));
+      }
+    }
+    EmitOps();
+    indent_ = "    ";
+  }
+
+  void EmitStraightLineBody() {
+    Blank();
+    if (options_.emit_comments) {
+      Line("# single intra-block: dataflow evaluated once");
+    }
+    EmitOps();
+  }
+
+  void EmitStores() {
+    Blank();
+    for (const TensorInfo& t : graph_.tensors()) {
+      if (t.kind == TensorKind::kOutput) {
+        Line(StrCat("tl.store(", Var(t.id), "_ptr + block_offsets, ", Var(t.id), ")"));
+      }
+    }
+  }
+
+  void EmitLaunchStub() {
+    indent_ = "";
+    Blank();
+    body_ << "# host-side launch\n";
+    body_ << "grid = (" << sched_.NumBlocks() << ",)\n";
+    body_ << Ident(graph_.name()) << "_kernel[grid](...)"
+          << "  # smem=" << sched_.memory.smem_bytes << "B"
+          << " regs=" << sched_.memory.reg_bytes << "B\n";
+  }
+
+  const SmgSchedule& sched_;
+  const Graph& graph_;
+  CodegenOptions options_;
+  std::map<TensorId, std::string> names_;
+  std::set<OpId> updated_sources_;
+  std::ostringstream body_;
+  std::string indent_;
+};
+
+}  // namespace
+
+std::string EmitTritonKernel(const SmgSchedule& schedule, const CodegenOptions& options) {
+  KernelEmitter emitter(schedule, options);
+  return emitter.Emit();
+}
+
+std::string EmitTritonProgram(const ScheduledProgram& program, const CodegenOptions& options) {
+  std::ostringstream out;
+  out << "import triton\nimport triton.language as tl\n\n";
+  for (size_t i = 0; i < program.kernels.size(); ++i) {
+    out << "# ---- kernel " << i + 1 << "/" << program.kernels.size() << " ----\n";
+    out << EmitTritonKernel(program.kernels[i], options) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spacefusion

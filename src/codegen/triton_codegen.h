@@ -1,0 +1,39 @@
+// Triton-flavored code generation.
+//
+// The paper integrates SpaceFusion with OpenAI Triton for intra-block code
+// generation (Sec. 6). Real Triton cannot run in this environment, so this
+// backend emits the *text* of the Triton kernel a schedule lowers to: grid
+// decomposition over the spatial dims, staged tl.loads, the serial
+// intra-block loop over the temporal dim, per-operator statements
+// (tl.dot / tl.max / tl.sum / element-wise expressions), and the generated
+// Update-then-Aggregate lines (the online-softmax rescalings of Fig. 7/8).
+//
+// The emitted kernels are what a user would paste into a Triton project;
+// they also serve as a readable rendering of a schedule for debugging and
+// for the documentation examples.
+#ifndef SPACEFUSION_SRC_CODEGEN_TRITON_CODEGEN_H_
+#define SPACEFUSION_SRC_CODEGEN_TRITON_CODEGEN_H_
+
+#include <string>
+
+#include "src/schedule/schedule_ir.h"
+
+namespace spacefusion {
+
+struct CodegenOptions {
+  bool emit_launch_stub = true;  // also emit the host-side grid/launch code
+  bool emit_comments = true;     // annotate statements with SMG provenance
+};
+
+// Renders one fused kernel. The schedule must have a memory plan (block
+// sizes applied + PlanMemory run).
+std::string EmitTritonKernel(const SmgSchedule& schedule,
+                             const CodegenOptions& options = CodegenOptions());
+
+// Renders every kernel of a partitioned program.
+std::string EmitTritonProgram(const ScheduledProgram& program,
+                              const CodegenOptions& options = CodegenOptions());
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_CODEGEN_TRITON_CODEGEN_H_

@@ -1,0 +1,197 @@
+#include "src/core/compiler.h"
+
+#include <chrono>
+
+#include "src/schedule/lowering.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+CompileOptions::CompileOptions() : arch(AmpereA100()) {}
+
+Compiler::Compiler(CompileOptions options)
+    : options_(std::move(options)),
+      rc_(ResourceConfig::FromArch(options_.arch)),
+      cost_(options_.arch) {}
+
+StatusOr<CompiledSubprogram> Compiler::Compile(const Graph& graph) {
+  std::uint64_t key = graph.StructuralHash();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, CompileUncached(graph));
+  cache_.emplace(key, compiled);
+  return compiled;
+}
+
+StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
+  SlicingOptions slicing;
+  slicing.enable_temporal = options_.enable_temporal_slicing;
+  slicing.search = options_.search;
+
+  // Program pre-processing: independent chains (e.g. the three projections
+  // of QKV) become their own fused SMGs; fusing them would build a fused
+  // space over unrelated dimensions.
+  auto t_slice = std::chrono::steady_clock::now();
+  std::vector<Graph> components = SplitConnectedComponents(graph);
+
+  // Concatenates per-graph pipelines into one candidate program.
+  auto compile_pieces = [&](const std::vector<Graph>& pieces) -> StatusOr<ProgramCandidate> {
+    ProgramCandidate candidate;
+    for (const Graph& piece : pieces) {
+      SF_ASSIGN_OR_RETURN(PipelineResult part, RunSlicingPipeline(piece, rc_, slicing));
+      for (SlicingResult& kernel : part.candidates.front().kernels) {
+        candidate.kernels.push_back(std::move(kernel));
+      }
+      candidate.partition_rounds += part.candidates.front().partition_rounds;
+    }
+    return candidate;
+  };
+
+  PipelineResult pipeline;
+  if (components.size() == 1) {
+    SF_ASSIGN_OR_RETURN(pipeline, RunSlicingPipeline(graph, rc_, slicing));
+  } else {
+    SF_ASSIGN_OR_RETURN(ProgramCandidate fused, compile_pieces(components));
+    pipeline.candidates.push_back(std::move(fused));
+  }
+
+  // Sec. 5.3 candidate exploration: the maximally fused program competes
+  // against a conservatively split one (matmuls isolated, MI runs fused) —
+  // fusion across giant-weight GEMM chains is not always profitable, and
+  // the tuner decides by measurement.
+  {
+    std::vector<Graph> split_pieces;
+    for (const Graph& component : components) {
+      for (Graph& piece : SplitAtComputeBoundaries(component)) {
+        split_pieces.push_back(std::move(piece));
+      }
+    }
+    if (split_pieces.size() > components.size()) {
+      StatusOr<ProgramCandidate> split = compile_pieces(split_pieces);
+      if (split.ok()) {
+        pipeline.candidates.push_back(std::move(split).value());
+      }
+    }
+  }
+  double slicing_ms = ElapsedMs(t_slice);
+
+  // Every *discovered* fusion counts toward the pattern statistics, even if
+  // tuning ultimately prefers another candidate program (Table 6 counts what
+  // the scheduler can fuse, not what it deploys).
+  for (const ProgramCandidate& candidate : pipeline.candidates) {
+    for (const SlicingResult& kernel : candidate.kernels) {
+      RecordFusionPattern(kernel.schedule.graph);
+    }
+  }
+
+  // Tune every candidate program, keep the fastest (Sec. 5.3).
+  CompiledSubprogram best;
+  bool have_best = false;
+  double total_tuning_s = 0.0;
+  double enum_ms = 0.0;
+  int tried = 0;
+
+  for (ProgramCandidate& candidate : pipeline.candidates) {
+    CompiledSubprogram compiled;
+    compiled.candidate_programs = static_cast<int>(pipeline.candidates.size());
+    double candidate_time = 0.0;
+    AddressMap addresses;
+    for (SlicingResult& kernel : candidate.kernels) {
+      auto t_enum = std::chrono::steady_clock::now();
+      // (Search spaces were enumerated during slicing; account re-planning.)
+      enum_ms += ElapsedMs(t_enum);
+      if (options_.enable_auto_scheduling) {
+        TuningStats stats = TuneKernel(&kernel, cost_, rc_, options_.tuner);
+        total_tuning_s += stats.simulated_tuning_seconds;
+        tried += stats.configs_tried;
+        compiled.tuning.configs_early_quit += stats.configs_early_quit;
+      } else {
+        ApplyExpertConfig(&kernel, rc_);
+      }
+      KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
+      candidate_time += cost_.EstimateKernel(spec).time_us;
+      compiled.program.kernels.push_back(kernel.schedule);
+      compiled.kernels.push_back(std::move(spec));
+    }
+    compiled.estimate = cost_.Estimate(compiled.kernels);
+    if (!have_best || compiled.estimate.time_us < best.estimate.time_us) {
+      best = std::move(compiled);
+      have_best = true;
+    }
+  }
+  SF_CHECK(have_best);
+
+  best.compile_time.slicing_ms = slicing_ms;
+  best.compile_time.enum_cfg_ms = enum_ms;
+  best.compile_time.tuning_s = total_tuning_s;
+  best.tuning.configs_tried = tried;
+  best.tuning.best_time_us = best.estimate.time_us;
+  best.tuning.simulated_tuning_seconds = total_tuning_s;
+  return best;
+}
+
+StatusOr<CompiledModel> Compiler::CompileModel(const ModelGraph& model) {
+  CompiledModel out;
+  std::map<std::uint64_t, size_t> compiled_index;
+  for (const Subprogram& sub : model.subprograms) {
+    std::uint64_t key = sub.graph.StructuralHash();
+    auto it = compiled_index.find(key);
+    if (it == compiled_index.end()) {
+      SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, Compile(sub.graph));
+      out.compile_time.slicing_ms += compiled.compile_time.slicing_ms;
+      out.compile_time.enum_cfg_ms += compiled.compile_time.enum_cfg_ms;
+      out.compile_time.tuning_s += compiled.compile_time.tuning_s;
+      compiled_index.emplace(key, out.unique_subprograms.size());
+      out.unique_subprograms.push_back(std::move(compiled));
+      it = compiled_index.find(key);
+    } else {
+      ++out.cache_hits;
+    }
+    out.total += out.unique_subprograms[it->second].estimate.Scaled(sub.repeat);
+  }
+  return out;
+}
+
+void Compiler::RecordFusionPattern(const Graph& kernel_graph) {
+  int a2o_ops = 0;
+  bool has_ci = false;
+  bool has_mi = false;
+  for (const Op& op : kernel_graph.ops()) {
+    if (op.kind == OpKind::kMatMul || op.kind == OpKind::kReduce) {
+      ++a2o_ops;
+    }
+    if (op.compute_intensive()) {
+      has_ci = true;
+    } else {
+      has_mi = true;
+    }
+  }
+  if (a2o_ops < 2) {
+    return;  // Table 6 counts fused subgraphs with >= 2 All-to-Ones
+  }
+  std::uint64_t topo = kernel_graph.TopologyHash();
+  if (seen_patterns_.count(topo) > 0) {
+    return;
+  }
+  seen_patterns_.emplace(topo, true);
+  ++fusion_stats_.total;
+  if (has_ci && has_mi) {
+    ++fusion_stats_.ci_and_mi;
+  } else if (has_ci) {
+    ++fusion_stats_.ci_only;
+  } else {
+    ++fusion_stats_.mi_only;
+  }
+}
+
+}  // namespace spacefusion

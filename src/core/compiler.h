@@ -1,0 +1,101 @@
+// SpaceFusion compiler facade — the public entry point (paper Fig. 9).
+//
+// Program pre-processing segments a model into subprograms (done by the
+// model builders), builds one fused SMG per subprogram, then alternates
+// between resource-aware slicing and SMG partitioning until every SMG has a
+// schedule; the auto-tuner measures the enumerated configurations on the
+// GPU simulator and the best schedules are lowered to kernels.
+#ifndef SPACEFUSION_SRC_CORE_COMPILER_H_
+#define SPACEFUSION_SRC_CORE_COMPILER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/models.h"
+#include "src/schedule/pipeline.h"
+#include "src/sim/cost_model.h"
+#include "src/tuning/tuner.h"
+
+namespace spacefusion {
+
+struct CompileOptions {
+  GpuArch arch;
+  // Ablation toggles (paper Sec. 6.4):
+  //  * enable_temporal_slicing=false               -> Base(SS) / Base+AS
+  //  * enable_auto_scheduling=false (expert cfgs)  -> Base(SS) / Base+TS
+  bool enable_temporal_slicing = true;
+  bool enable_auto_scheduling = true;
+  SearchOptions search;
+  TunerOptions tuner;
+
+  CompileOptions();  // defaults to A100
+  explicit CompileOptions(GpuArch a) : arch(std::move(a)) {}
+};
+
+// Compile-time breakdown of one subprogram (Table 4's columns).
+struct CompileTimeBreakdown {
+  double slicing_ms = 0.0;    // TS.getPriorDim + TS.slice + SS.getDims + SS.slice
+  double enum_cfg_ms = 0.0;   // search-space enumeration
+  double tuning_s = 0.0;      // emulated measurement time (dominates)
+  double total_s() const { return tuning_s + (slicing_ms + enum_cfg_ms) * 1e-3; }
+};
+
+struct CompiledSubprogram {
+  ScheduledProgram program;          // tuned kernels, in execution order
+  std::vector<KernelSpec> kernels;   // lowered specs
+  ExecutionReport estimate;          // simulator cost of one execution
+  CompileTimeBreakdown compile_time;
+  TuningStats tuning;
+  int candidate_programs = 1;        // Sec. 5.3 alternatives explored
+};
+
+struct CompiledModel {
+  // One entry per *unique* subprogram (repetitions compile once).
+  std::vector<CompiledSubprogram> unique_subprograms;
+  // Execution estimate of the whole model (repeat counts expanded).
+  ExecutionReport total;
+  CompileTimeBreakdown compile_time;
+  int cache_hits = 0;  // repeated subprograms served from the compile cache
+};
+
+// Distinct fusion patterns discovered across compilations (Table 6).
+struct FusionPatternStats {
+  int total = 0;
+  int ci_only = 0;
+  int mi_only = 0;
+  int ci_and_mi = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options);
+
+  const CompileOptions& options() const { return options_; }
+
+  // Compiles one subprogram (with compile-cache lookup).
+  StatusOr<CompiledSubprogram> Compile(const Graph& graph);
+
+  // Compiles a whole model; repeated subprograms are compiled once.
+  StatusOr<CompiledModel> CompileModel(const ModelGraph& model);
+
+  // Fused subgraphs with >=2 All-to-One mappings seen so far, deduplicated
+  // by operator topology (Table 6's counting rule).
+  FusionPatternStats fusion_stats() const { return fusion_stats_; }
+
+ private:
+  StatusOr<CompiledSubprogram> CompileUncached(const Graph& graph);
+  void RecordFusionPattern(const Graph& kernel_graph);
+
+  CompileOptions options_;
+  ResourceConfig rc_;
+  CostModel cost_;
+  std::map<std::uint64_t, CompiledSubprogram> cache_;
+  FusionPatternStats fusion_stats_;
+  std::map<std::uint64_t, bool> seen_patterns_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_CORE_COMPILER_H_

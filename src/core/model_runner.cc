@@ -1,0 +1,44 @@
+#include "src/core/model_runner.h"
+
+namespace spacefusion {
+
+std::optional<ExecutionReport> EstimateGraphWithBaseline(const Graph& graph,
+                                                         const Baseline& baseline,
+                                                         const GpuArch& arch) {
+  if (!baseline.Supports(graph, arch)) {
+    return std::nullopt;
+  }
+  AddressMap addresses;
+  std::vector<KernelSpec> kernels = baseline.Plan(graph, arch, &addresses);
+  CostModel cost(arch);
+  return cost.Estimate(kernels);
+}
+
+std::optional<ExecutionReport> EstimateModelWithBaseline(const ModelGraph& model,
+                                                         const Baseline& baseline,
+                                                         const GpuArch& arch) {
+  ExecutionReport total;
+  CostModel cost(arch);
+  for (const Subprogram& sub : model.subprograms) {
+    if (!baseline.Supports(sub.graph, arch)) {
+      return std::nullopt;
+    }
+    AddressMap addresses;
+    std::vector<KernelSpec> kernels = baseline.Plan(sub.graph, arch, &addresses);
+    total += cost.Estimate(kernels).Scaled(sub.repeat);
+  }
+  return total;
+}
+
+StatusOr<ExecutionReport> EstimateGraphWithSpaceFusion(const Graph& graph, const GpuArch& arch) {
+  Compiler compiler{CompileOptions(arch)};
+  SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, compiler.Compile(graph));
+  return compiled.estimate;
+}
+
+ExecutionReport SimulateMemory(const std::vector<KernelSpec>& kernels, const GpuArch& arch) {
+  MemorySim sim(arch);
+  return sim.Run(kernels);
+}
+
+}  // namespace spacefusion

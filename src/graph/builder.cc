@@ -1,0 +1,166 @@
+#include "src/graph/builder.h"
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+TensorId GraphBuilder::Input(const std::string& name, Shape shape, DType dtype) {
+  TensorInfo info;
+  info.name = name;
+  info.shape = std::move(shape);
+  info.dtype = dtype;
+  info.kind = TensorKind::kInput;
+  return graph_.AddTensor(std::move(info));
+}
+
+TensorId GraphBuilder::Weight(const std::string& name, Shape shape, DType dtype) {
+  TensorInfo info;
+  info.name = name;
+  info.shape = std::move(shape);
+  info.dtype = dtype;
+  info.kind = TensorKind::kWeight;
+  return graph_.AddTensor(std::move(info));
+}
+
+TensorId GraphBuilder::Constant(const std::string& name, float value) {
+  TensorInfo info;
+  info.name = name;
+  info.shape = Shape({1});
+  info.dtype = DType::kF32;
+  info.kind = TensorKind::kConstant;
+  info.constant_value = value;
+  return graph_.AddTensor(std::move(info));
+}
+
+TensorId GraphBuilder::EmitOp(OpKind kind, OpAttrs attrs, std::vector<TensorId> inputs,
+                              const std::string& name) {
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  // Output dtype follows the first non-constant operand (FP32 scalar
+  // constants like 1/sqrt(d) must not promote the whole chain).
+  DType dtype = DType::kF16;
+  bool dtype_set = false;
+  for (TensorId in : inputs) {
+    in_shapes.push_back(graph_.tensor(in).shape);
+    if (!dtype_set && graph_.tensor(in).kind != TensorKind::kConstant) {
+      dtype = graph_.tensor(in).dtype;
+      dtype_set = true;
+    }
+  }
+  Shape out_shape = InferOpShape(kind, attrs, in_shapes);
+
+  std::string op_name = name.empty() ? StrCat(OpKindName(kind), "_", temp_counter_++) : name;
+
+  TensorInfo out_info;
+  out_info.name = StrCat(op_name, ".out");
+  out_info.shape = std::move(out_shape);
+  out_info.dtype = dtype;
+  out_info.kind = TensorKind::kIntermediate;
+  TensorId out = graph_.AddTensor(std::move(out_info));
+
+  Op op;
+  op.kind = kind;
+  op.attrs = attrs;
+  op.inputs = std::move(inputs);
+  op.output = out;
+  op.name = op_name;
+  graph_.AddOp(std::move(op));
+  return out;
+}
+
+TensorId GraphBuilder::MatMul(TensorId a, TensorId b, bool transpose_a, bool transpose_b,
+                              const std::string& name) {
+  OpAttrs attrs;
+  attrs.transpose_a = transpose_a;
+  attrs.transpose_b = transpose_b;
+  return EmitOp(OpKind::kMatMul, attrs, {a, b}, name);
+}
+
+TensorId GraphBuilder::Unary(UnaryKind kind, TensorId x, const std::string& name) {
+  OpAttrs attrs;
+  attrs.unary = kind;
+  return EmitOp(OpKind::kUnary, attrs, {x},
+                name.empty() ? StrCat(UnaryKindName(kind), "_", temp_counter_++) : name);
+}
+
+TensorId GraphBuilder::Binary(BinaryKind kind, TensorId a, TensorId b, const std::string& name) {
+  OpAttrs attrs;
+  attrs.binary = kind;
+  return EmitOp(OpKind::kBinary, attrs, {a, b},
+                name.empty() ? StrCat(BinaryKindName(kind), "_", temp_counter_++) : name);
+}
+
+TensorId GraphBuilder::Reduce(ReduceKind kind, TensorId x, const std::string& name) {
+  OpAttrs attrs;
+  attrs.reduce = kind;
+  return EmitOp(OpKind::kReduce, attrs, {x},
+                name.empty() ? StrCat(ReduceKindName(kind), "_", temp_counter_++) : name);
+}
+
+TensorId GraphBuilder::Scale(TensorId x, float factor, const std::string& name) {
+  TensorId c = Constant(StrCat("scale_", temp_counter_++), factor);
+  return Binary(BinaryKind::kMul, x, c, name);
+}
+
+TensorId GraphBuilder::Softmax(TensorId x) {
+  TensorId row_max = Reduce(ReduceKind::kMax, x);
+  TensorId shifted = Binary(BinaryKind::kSub, x, row_max);
+  TensorId exps = Unary(UnaryKind::kExp, shifted);
+  TensorId row_sum = Reduce(ReduceKind::kSum, exps);
+  return Binary(BinaryKind::kDiv, exps, row_sum);
+}
+
+TensorId GraphBuilder::LayerNorm(TensorId x, TensorId gamma, TensorId beta, float eps) {
+  TensorId mean = Reduce(ReduceKind::kMean, x);
+  TensorId centered = Binary(BinaryKind::kSub, x, mean);
+  TensorId sq = Unary(UnaryKind::kSquare, centered);
+  TensorId var = Reduce(ReduceKind::kMean, sq);
+  TensorId eps_c = Constant(StrCat("eps_", temp_counter_++), eps);
+  TensorId var_eps = Binary(BinaryKind::kAdd, var, eps_c);
+  TensorId denom = Unary(UnaryKind::kSqrt, var_eps);
+  TensorId normed = Binary(BinaryKind::kDiv, centered, denom);
+  if (gamma != kInvalidTensor) {
+    normed = Binary(BinaryKind::kMul, normed, gamma);
+  }
+  if (beta != kInvalidTensor) {
+    normed = Binary(BinaryKind::kAdd, normed, beta);
+  }
+  return normed;
+}
+
+TensorId GraphBuilder::RmsNorm(TensorId x, TensorId gamma, float eps) {
+  TensorId sq = Unary(UnaryKind::kSquare, x);
+  TensorId ms = Reduce(ReduceKind::kMean, sq);
+  TensorId eps_c = Constant(StrCat("eps_", temp_counter_++), eps);
+  TensorId ms_eps = Binary(BinaryKind::kAdd, ms, eps_c);
+  TensorId inv = Unary(UnaryKind::kRsqrt, ms_eps);
+  TensorId normed = Binary(BinaryKind::kMul, x, inv);
+  if (gamma != kInvalidTensor) {
+    normed = Binary(BinaryKind::kMul, normed, gamma);
+  }
+  return normed;
+}
+
+TensorId GraphBuilder::Linear(TensorId x, TensorId w, TensorId bias, bool transpose_w) {
+  TensorId out = MatMul(x, w, /*transpose_a=*/false, transpose_w);
+  if (bias != kInvalidTensor) {
+    out = Binary(BinaryKind::kAdd, out, bias);
+  }
+  return out;
+}
+
+void GraphBuilder::MarkOutput(TensorId id) {
+  SF_CHECK_EQ(static_cast<int>(graph_.tensor(id).kind),
+              static_cast<int>(TensorKind::kIntermediate))
+      << "only intermediate tensors can become outputs";
+  graph_.tensor(id).kind = TensorKind::kOutput;
+}
+
+Graph GraphBuilder::Build() {
+  Status st = graph_.Validate();
+  SF_CHECK(st.ok()) << st.ToString();
+  return std::move(graph_);
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,72 @@
+// Fluent construction of operator graphs.
+//
+// Composite helpers (Softmax, LayerNorm, RmsNorm, Linear, ...) emit the same
+// primitive-op decompositions shown in the paper's Fig. 10 DFGs.
+#ifndef SPACEFUSION_SRC_GRAPH_BUILDER_H_
+#define SPACEFUSION_SRC_GRAPH_BUILDER_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace spacefusion {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name = "graph") : graph_(std::move(name)) {}
+
+  // --- Graph-boundary tensors -------------------------------------------
+  TensorId Input(const std::string& name, Shape shape, DType dtype = DType::kF16);
+  TensorId Weight(const std::string& name, Shape shape, DType dtype = DType::kF16);
+  TensorId Constant(const std::string& name, float value);
+
+  // --- Primitive ops ------------------------------------------------------
+  TensorId MatMul(TensorId a, TensorId b, bool transpose_a = false, bool transpose_b = false,
+                  const std::string& name = "");
+  TensorId Unary(UnaryKind kind, TensorId x, const std::string& name = "");
+  TensorId Binary(BinaryKind kind, TensorId a, TensorId b, const std::string& name = "");
+  TensorId Reduce(ReduceKind kind, TensorId x, const std::string& name = "");
+
+  // --- Composite helpers (primitive decompositions) -----------------------
+  TensorId Add(TensorId a, TensorId b) { return Binary(BinaryKind::kAdd, a, b); }
+  TensorId Sub(TensorId a, TensorId b) { return Binary(BinaryKind::kSub, a, b); }
+  TensorId Mul(TensorId a, TensorId b) { return Binary(BinaryKind::kMul, a, b); }
+  TensorId Div(TensorId a, TensorId b) { return Binary(BinaryKind::kDiv, a, b); }
+  TensorId Relu(TensorId x) { return Unary(UnaryKind::kRelu, x); }
+  TensorId Gelu(TensorId x) { return Unary(UnaryKind::kGelu, x); }
+  TensorId Sigmoid(TensorId x) { return Unary(UnaryKind::kSigmoid, x); }
+  TensorId Tanh(TensorId x) { return Unary(UnaryKind::kTanh, x); }
+  TensorId Exp(TensorId x) { return Unary(UnaryKind::kExp, x); }
+  TensorId Scale(TensorId x, float factor, const std::string& name = "");
+
+  // max / sub / exp / sum / div over the last axis.
+  TensorId Softmax(TensorId x);
+  // mean / sub / square / mean / +eps / sqrt / div / *gamma / +beta.
+  TensorId LayerNorm(TensorId x, TensorId gamma, TensorId beta, float eps = 1e-5f);
+  // square / mean / +eps / rsqrt / mul / *gamma (Llama-family).
+  TensorId RmsNorm(TensorId x, TensorId gamma, float eps = 1e-6f);
+  // x @ w (+ bias broadcast over rows if bias is valid).
+  TensorId Linear(TensorId x, TensorId w, TensorId bias = kInvalidTensor,
+                  bool transpose_w = false);
+
+  // Marks a tensor as a graph output.
+  void MarkOutput(TensorId id);
+
+  const Shape& shape(TensorId id) const { return graph_.tensor(id).shape; }
+
+  // Finalizes and validates the graph (dies on invariant violations).
+  Graph Build();
+
+  Graph& graph() { return graph_; }
+
+ private:
+  TensorId EmitOp(OpKind kind, OpAttrs attrs, std::vector<TensorId> inputs,
+                  const std::string& name);
+
+  Graph graph_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_GRAPH_BUILDER_H_

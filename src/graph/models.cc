@@ -1,0 +1,146 @@
+#include "src/graph/models.h"
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kBert:
+      return "Bert";
+    case ModelKind::kAlbert:
+      return "Albert";
+    case ModelKind::kT5:
+      return "T5";
+    case ModelKind::kViT:
+      return "ViT";
+    case ModelKind::kLlama2:
+      return "Llama2";
+  }
+  return "?";
+}
+
+std::int64_t ModelGraph::TotalFlops() const {
+  std::int64_t flops = 0;
+  for (const Subprogram& sub : subprograms) {
+    flops += sub.graph.TotalFlops() * sub.repeat;
+  }
+  return flops;
+}
+
+ModelConfig GetModelConfig(ModelKind kind, std::int64_t batch, std::int64_t seq) {
+  ModelConfig c;
+  c.kind = kind;
+  c.batch = batch;
+  c.seq = seq;
+  switch (kind) {
+    case ModelKind::kBert:
+      // bert-base-uncased
+      c.name = "Bert";
+      c.num_layers = 12;
+      c.hidden = 768;
+      c.heads = 12;
+      c.ffn_dim = 3072;
+      c.activation = UnaryKind::kGelu;
+      break;
+    case ModelKind::kAlbert:
+      // albert-base-v2: same geometry as BERT-base but the single layer's
+      // weights are shared, so every repetition is the *same* subprogram.
+      c.name = "Albert";
+      c.num_layers = 12;
+      c.hidden = 768;
+      c.heads = 12;
+      c.ffn_dim = 3072;
+      c.activation = UnaryKind::kGelu;
+      break;
+    case ModelKind::kT5:
+      // t5-base: 12 encoder + 12 decoder layers, ReLU FFN.
+      c.name = "T5";
+      c.num_layers = 12;
+      c.decoder_layers = 12;
+      c.hidden = 768;
+      c.heads = 12;
+      c.ffn_dim = 3072;
+      c.activation = UnaryKind::kRelu;
+      break;
+    case ModelKind::kViT: {
+      // ViT-B/16: `seq` is the image side; patches of 16x16 plus class token.
+      c.name = "ViT";
+      c.num_layers = 12;
+      c.hidden = 768;
+      c.heads = 12;
+      c.ffn_dim = 3072;
+      c.activation = UnaryKind::kGelu;
+      std::int64_t side = seq;
+      c.seq = (side / 16) * (side / 16) + 1;
+      break;
+    }
+    case ModelKind::kLlama2:
+      // Llama2-7B.
+      c.name = "Llama2";
+      c.num_layers = 32;
+      c.hidden = 4096;
+      c.heads = 32;
+      c.ffn_dim = 11008;
+      c.activation = UnaryKind::kSigmoid;  // used inside SwiGLU
+      c.norm = NormKind::kRmsNorm;
+      c.gated_ffn = true;
+      c.causal_mask = true;
+      break;
+  }
+  return c;
+}
+
+ModelGraph BuildModel(const ModelConfig& config) {
+  ModelGraph model;
+  model.config = config;
+  std::int64_t tokens = config.tokens();
+  std::int64_t bh = config.batch * config.heads;
+
+  auto append_encoder_stack = [&](int layers, bool causal) {
+    // The four subprograms of one layer; identical across layers, so the
+    // repeat count carries the stack depth.
+    model.subprograms.push_back({BuildQkvProj(tokens, config.hidden, config.hidden), layers});
+    model.subprograms.push_back(
+        {BuildMha(bh, config.seq, config.seq, config.head_dim(), causal), layers});
+    model.subprograms.push_back({BuildAttnOut(tokens, config.hidden, config.norm), layers});
+    if (config.gated_ffn) {
+      model.subprograms.push_back({BuildSwigluFfn(tokens, config.hidden, config.ffn_dim), layers});
+    } else {
+      model.subprograms.push_back(
+          {BuildFfn(tokens, config.hidden, config.ffn_dim, config.activation, config.norm),
+           layers});
+    }
+  };
+
+  append_encoder_stack(config.num_layers, config.causal_mask);
+
+  if (config.decoder_layers > 0) {
+    // Decoder: causal self-attention + cross-attention + FFN.
+    model.subprograms.push_back(
+        {BuildQkvProj(tokens, config.hidden, config.hidden), config.decoder_layers});
+    model.subprograms.push_back(
+        {BuildMha(bh, config.seq, config.seq, config.head_dim(), /*masked=*/true),
+         config.decoder_layers});
+    model.subprograms.push_back(
+        {BuildAttnOut(tokens, config.hidden, config.norm), config.decoder_layers});
+    // Cross-attention reads encoder keys/values (same seq length here).
+    model.subprograms.push_back(
+        {BuildMha(bh, config.seq, config.seq, config.head_dim(), /*masked=*/false),
+         config.decoder_layers});
+    model.subprograms.push_back(
+        {BuildAttnOut(tokens, config.hidden, config.norm), config.decoder_layers});
+    model.subprograms.push_back(
+        {BuildFfn(tokens, config.hidden, config.ffn_dim, config.activation, config.norm),
+         config.decoder_layers});
+  }
+  return model;
+}
+
+std::vector<ModelKind> AllModelKinds() {
+  return {ModelKind::kBert, ModelKind::kAlbert, ModelKind::kT5, ModelKind::kViT,
+          ModelKind::kLlama2};
+}
+
+}  // namespace spacefusion

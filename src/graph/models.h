@@ -1,0 +1,69 @@
+// End-to-end model zoo: the five Transformer models of the paper's Sec. 6.2
+// evaluation, expressed as sequences of subprograms with repeat counts.
+//
+// Fusion scheduling only depends on graph topology and shapes, so models are
+// built from their published architecture hyper-parameters with synthetic
+// weights (substitution documented in DESIGN.md).
+#ifndef SPACEFUSION_SRC_GRAPH_MODELS_H_
+#define SPACEFUSION_SRC_GRAPH_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/subgraphs.h"
+
+namespace spacefusion {
+
+enum class ModelKind { kBert, kAlbert, kT5, kViT, kLlama2 };
+
+const char* ModelKindName(ModelKind kind);
+
+struct ModelConfig {
+  ModelKind kind = ModelKind::kBert;
+  std::string name;
+  int num_layers = 12;
+  std::int64_t hidden = 768;
+  std::int64_t heads = 12;
+  std::int64_t ffn_dim = 3072;
+  std::int64_t batch = 1;
+  std::int64_t seq = 128;
+  UnaryKind activation = UnaryKind::kGelu;
+  NormKind norm = NormKind::kLayerNorm;
+  bool gated_ffn = false;       // Llama SwiGLU
+  bool causal_mask = false;     // decoder-style attention
+  int decoder_layers = 0;       // T5: extra decoder stack with cross-attention
+
+  std::int64_t head_dim() const { return hidden / heads; }
+  std::int64_t tokens() const { return batch * seq; }
+};
+
+// A subprogram plus how many times the model executes it. Identical
+// repetitions are compiled once (paper Sec. 5, program pre-processing).
+struct Subprogram {
+  Graph graph;
+  int repeat = 1;
+};
+
+struct ModelGraph {
+  ModelConfig config;
+  std::vector<Subprogram> subprograms;
+
+  std::int64_t TotalFlops() const;
+};
+
+// Published architecture parameters for each model at (batch, seq).
+// For ViT, `seq` is interpreted as the image side length in pixels
+// (patch 16, +1 class token).
+ModelConfig GetModelConfig(ModelKind kind, std::int64_t batch, std::int64_t seq);
+
+// Expands a config into subprograms (QKV projection, per-head attention,
+// attention output + norm, FFN + norm; cross-attention for T5 decoders).
+ModelGraph BuildModel(const ModelConfig& config);
+
+// All five evaluated models.
+std::vector<ModelKind> AllModelKinds();
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_GRAPH_MODELS_H_

@@ -1,0 +1,71 @@
+#include "src/graph/op.h"
+
+namespace spacefusion {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatMul:
+      return "matmul";
+    case OpKind::kUnary:
+      return "unary";
+    case OpKind::kBinary:
+      return "binary";
+    case OpKind::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+const char* ReduceOpKindName(ReduceOpKind kind) {
+  switch (kind) {
+    case ReduceOpKind::kMax:
+      return "max";
+    case ReduceOpKind::kSum:
+      return "sum";
+    case ReduceOpKind::kMean:
+      return "mean";
+    case ReduceOpKind::kDot:
+      return "dot";
+  }
+  return "?";
+}
+
+namespace {
+// Instruction cost per element: transcendentals go through the SFU / a
+// polynomial expansion and cost far more than one FMA.
+std::int64_t UnaryFlopCost(UnaryKind kind) {
+  switch (kind) {
+    case UnaryKind::kExp:
+    case UnaryKind::kSigmoid:
+    case UnaryKind::kTanh:
+      return 8;
+    case UnaryKind::kGelu:
+      return 14;
+    case UnaryKind::kSqrt:
+    case UnaryKind::kRsqrt:
+    case UnaryKind::kRecip:
+      return 4;
+    case UnaryKind::kRelu:
+    case UnaryKind::kNeg:
+    case UnaryKind::kSquare:
+      return 1;
+  }
+  return 1;
+}
+}  // namespace
+
+std::int64_t OpFlops(const Op& op, std::int64_t output_volume, std::int64_t contraction) {
+  switch (op.kind) {
+    case OpKind::kMatMul:
+      return 2 * output_volume * contraction;
+    case OpKind::kReduce:
+      return output_volume * contraction;
+    case OpKind::kUnary:
+      return output_volume * UnaryFlopCost(op.attrs.unary);
+    case OpKind::kBinary:
+      return output_volume;
+  }
+  return output_volume;
+}
+
+}  // namespace spacefusion

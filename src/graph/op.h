@@ -1,0 +1,64 @@
+// Primitive tensor operators and their decoupled dependency signatures.
+//
+// Graphs are expressed in four primitive operator kinds; non-element-wise
+// library operators (Softmax, LayerNorm, ...) are built from them, exactly as
+// the paper's Fig. 10 DFGs do. Each primitive declares which of the decoupled
+// dependency patterns of Table 1 (One-to-One / One-to-All / All-to-One) it
+// contributes, which is what the SMG builder materializes as space mappings.
+#ifndef SPACEFUSION_SRC_GRAPH_OP_H_
+#define SPACEFUSION_SRC_GRAPH_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace spacefusion {
+
+using TensorId = std::int32_t;
+using OpId = std::int32_t;
+inline constexpr TensorId kInvalidTensor = -1;
+
+enum class OpKind {
+  kMatMul,  // C[...,M,N] = A[...,M,K] @ B[...,K,N] (transpose flags on attrs)
+  kUnary,   // element-wise unary
+  kBinary,  // element-wise binary with broadcasting
+  kReduce,  // last-axis reduction, keepdim
+};
+
+const char* OpKindName(OpKind kind);
+
+// The reduction semantics attached to an All-to-One mapping.
+enum class ReduceOpKind { kMax, kSum, kMean, kDot };
+
+const char* ReduceOpKindName(ReduceOpKind kind);
+
+struct OpAttrs {
+  UnaryKind unary = UnaryKind::kExp;
+  BinaryKind binary = BinaryKind::kAdd;
+  ReduceKind reduce = ReduceKind::kSum;
+  bool transpose_a = false;
+  bool transpose_b = false;
+};
+
+struct Op {
+  OpId id = -1;
+  OpKind kind = OpKind::kUnary;
+  OpAttrs attrs;
+  std::vector<TensorId> inputs;
+  TensorId output = kInvalidTensor;
+  std::string name;
+
+  // Memory-intensive (MI) vs compute-intensive (CI) classification used by
+  // the paper's baselines (AStitch fuses MI only; Chimera CI only).
+  bool compute_intensive() const { return kind == OpKind::kMatMul; }
+};
+
+// Approximate floating-point operations performed by an op with the given
+// output volume and (for matmul) contraction length.
+std::int64_t OpFlops(const Op& op, std::int64_t output_volume, std::int64_t contraction);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_GRAPH_OP_H_

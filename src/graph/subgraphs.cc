@@ -1,0 +1,147 @@
+#include "src/graph/subgraphs.h"
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+Graph BuildMlp(int num_layers, std::int64_t m, std::int64_t n, std::int64_t k) {
+  GraphBuilder b(StrCat("mlp_", num_layers, "x_", m, "x", n, "x", k));
+  TensorId x = b.Input("x", Shape({m, k}));
+  std::int64_t in_dim = k;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    TensorId w = b.Weight(StrCat("w", layer), Shape({in_dim, n}));
+    TensorId bias = b.Weight(StrCat("b", layer), Shape({n}));
+    x = b.Relu(b.Linear(x, w, bias));
+    in_dim = n;
+  }
+  b.MarkOutput(x);
+  return b.Build();
+}
+
+Graph BuildLstmCell(std::int64_t batch, std::int64_t input_dim, std::int64_t hidden) {
+  // Simplified cell matching the paper's Fig. 10(b): the cuBLAS baseline
+  // executes it as 5 unfused kernels (GEMM, GEMM, add, sigmoid, mul).
+  GraphBuilder b(StrCat("lstm_cell_", batch, "x", input_dim, "x", hidden));
+  TensorId x = b.Input("x", Shape({batch, input_dim}));
+  TensorId h = b.Input("h", Shape({batch, hidden}));
+  TensorId c = b.Input("c", Shape({batch, hidden}));
+  TensorId w1 = b.Weight("w1", Shape({input_dim, hidden}));
+  TensorId w2 = b.Weight("w2", Shape({hidden, hidden}));
+
+  TensorId z1 = b.MatMul(x, w1);
+  TensorId z2 = b.MatMul(h, w2);
+  TensorId s = b.Add(z1, z2);
+  TensorId gate = b.Sigmoid(s);
+  TensorId c_new = b.Mul(gate, c);
+  b.MarkOutput(c_new);
+  return b.Build();
+}
+
+Graph BuildLayerNormGraph(std::int64_t m, std::int64_t n) {
+  GraphBuilder b(StrCat("layernorm_", m, "x", n));
+  TensorId x = b.Input("x", Shape({m, n}));
+  TensorId gamma = b.Weight("gamma", Shape({n}));
+  TensorId beta = b.Weight("beta", Shape({n}));
+  TensorId out = b.LayerNorm(x, gamma, beta);
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+Graph BuildMha(std::int64_t batch_heads, std::int64_t seq_q, std::int64_t seq_kv,
+               std::int64_t head_dim, bool masked) {
+  GraphBuilder b(StrCat("mha_", batch_heads, "x", seq_q, "x", seq_kv, "x", head_dim));
+  TensorId q = b.Input("query", Shape({batch_heads, seq_q, head_dim}));
+  TensorId k = b.Input("key", Shape({batch_heads, seq_kv, head_dim}));
+  TensorId v = b.Input("value", Shape({batch_heads, seq_kv, head_dim}));
+
+  TensorId qk = b.MatMul(q, k, /*transpose_a=*/false, /*transpose_b=*/true, "qk");
+  TensorId scaled = b.Scale(qk, 1.0f / std::sqrt(static_cast<float>(head_dim)));
+  if (masked) {
+    TensorId mask = b.Input("mask", Shape({seq_q, seq_kv}));
+    scaled = b.Add(scaled, mask);
+  }
+  TensorId probs = b.Softmax(scaled);
+  TensorId out = b.MatMul(probs, v, false, false, "out");
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+Graph BuildQkvProj(std::int64_t tokens, std::int64_t hidden, std::int64_t qkv_dim) {
+  GraphBuilder b(StrCat("qkv_proj_", tokens, "x", hidden));
+  TensorId x = b.Input("x", Shape({tokens, hidden}));
+  for (const char* which : {"q", "k", "v"}) {
+    TensorId w = b.Weight(StrCat("w_", which), Shape({hidden, qkv_dim}));
+    TensorId bias = b.Weight(StrCat("b_", which), Shape({qkv_dim}));
+    b.MarkOutput(b.Linear(x, w, bias));
+  }
+  return b.Build();
+}
+
+Graph BuildAttnOut(std::int64_t tokens, std::int64_t hidden, NormKind norm) {
+  GraphBuilder b(StrCat("attn_out_", tokens, "x", hidden));
+  TensorId attn = b.Input("attn", Shape({tokens, hidden}));
+  TensorId residual = b.Input("residual", Shape({tokens, hidden}));
+  TensorId w = b.Weight("w_o", Shape({hidden, hidden}));
+  TensorId bias = b.Weight("b_o", Shape({hidden}));
+  TensorId proj = b.Linear(attn, w, bias);
+  TensorId summed = b.Add(proj, residual);
+  TensorId out;
+  if (norm == NormKind::kLayerNorm) {
+    TensorId gamma = b.Weight("gamma", Shape({hidden}));
+    TensorId beta = b.Weight("beta", Shape({hidden}));
+    out = b.LayerNorm(summed, gamma, beta);
+  } else {
+    TensorId gamma = b.Weight("gamma", Shape({hidden}));
+    out = b.RmsNorm(summed, gamma);
+  }
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+Graph BuildFfn(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn_dim, UnaryKind act,
+               NormKind norm) {
+  GraphBuilder b(StrCat("ffn_", tokens, "x", hidden, "x", ffn_dim));
+  TensorId x = b.Input("x", Shape({tokens, hidden}));
+  TensorId w1 = b.Weight("w1", Shape({hidden, ffn_dim}));
+  TensorId b1 = b.Weight("b1", Shape({ffn_dim}));
+  TensorId w2 = b.Weight("w2", Shape({ffn_dim, hidden}));
+  TensorId b2 = b.Weight("b2", Shape({hidden}));
+  TensorId mid = b.Unary(act, b.Linear(x, w1, b1));
+  TensorId proj = b.Linear(mid, w2, b2);
+  TensorId summed = b.Add(proj, x);
+  TensorId out;
+  if (norm == NormKind::kLayerNorm) {
+    TensorId gamma = b.Weight("gamma", Shape({hidden}));
+    TensorId beta = b.Weight("beta", Shape({hidden}));
+    out = b.LayerNorm(summed, gamma, beta);
+  } else {
+    TensorId gamma = b.Weight("gamma", Shape({hidden}));
+    out = b.RmsNorm(summed, gamma);
+  }
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+Graph BuildSwigluFfn(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn_dim) {
+  GraphBuilder b(StrCat("swiglu_ffn_", tokens, "x", hidden, "x", ffn_dim));
+  TensorId x = b.Input("x", Shape({tokens, hidden}));
+  TensorId wg = b.Weight("w_gate", Shape({hidden, ffn_dim}));
+  TensorId wu = b.Weight("w_up", Shape({hidden, ffn_dim}));
+  TensorId wd = b.Weight("w_down", Shape({ffn_dim, hidden}));
+  TensorId gate = b.MatMul(x, wg);
+  // SiLU(x) = x * sigmoid(x)
+  TensorId silu = b.Mul(gate, b.Sigmoid(gate));
+  TensorId up = b.MatMul(x, wu);
+  TensorId mid = b.Mul(silu, up);
+  TensorId down = b.MatMul(mid, wd);
+  TensorId summed = b.Add(down, x);
+  TensorId gamma = b.Weight("gamma", Shape({hidden}));
+  TensorId out = b.RmsNorm(summed, gamma);
+  b.MarkOutput(out);
+  return b.Build();
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,49 @@
+// Builders for the evaluated subgraphs of the paper's Fig. 10, plus the
+// transformer building blocks the end-to-end models are segmented into.
+#ifndef SPACEFUSION_SRC_GRAPH_SUBGRAPHS_H_
+#define SPACEFUSION_SRC_GRAPH_SUBGRAPHS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace spacefusion {
+
+enum class NormKind { kLayerNorm, kRmsNorm };
+
+// Fig. 10(a): `num_layers` stacked Linear+ReLU layers.
+// X[m,k] -> (W[k,n], B[n], ReLU) -> (W[n,n], B[n], ReLU) -> ...
+Graph BuildMlp(int num_layers, std::int64_t m, std::int64_t n, std::int64_t k);
+
+// Fig. 10(b): simplified LSTM cell.
+// x[batch,input_dim], h[batch,hidden], c[batch,hidden]:
+//   s = x@W1 + b + h@W2;  i = sigmoid(s);  g = tanh(s);  c' = c + i*g
+Graph BuildLstmCell(std::int64_t batch, std::int64_t input_dim, std::int64_t hidden);
+
+// Fig. 10(c): LayerNorm over the last axis of a 2-D input (9 MI ops).
+Graph BuildLayerNormGraph(std::int64_t m, std::int64_t n);
+
+// Fig. 10(d): per-head multi-head attention core.
+// Q[bh,sq,d], K[bh,skv,d], V[bh,skv,d]:
+//   P = softmax(Q@K^T * 1/sqrt(d) (+ mask));  Out = P@V
+Graph BuildMha(std::int64_t batch_heads, std::int64_t seq_q, std::int64_t seq_kv,
+               std::int64_t head_dim, bool masked = false);
+
+// --- Transformer-layer subprograms (model segmentation units) -------------
+
+// QKV projection: x[tokens,hidden] -> three Linear outputs.
+Graph BuildQkvProj(std::int64_t tokens, std::int64_t hidden, std::int64_t qkv_dim);
+
+// Attention output projection + residual + norm.
+Graph BuildAttnOut(std::int64_t tokens, std::int64_t hidden, NormKind norm);
+
+// Feed-forward block: Linear -> activation -> Linear + residual + norm.
+Graph BuildFfn(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn_dim, UnaryKind act,
+               NormKind norm);
+
+// Llama-style gated FFN: (silu(x@Wg) * (x@Wu)) @ Wd + residual + RMSNorm.
+Graph BuildSwigluFfn(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn_dim);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_GRAPH_SUBGRAPHS_H_

@@ -1,0 +1,218 @@
+#include "src/schedule/lowering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+double MatmulTileEfficiency(std::int64_t tile_m, std::int64_t tile_n) {
+  std::int64_t t = std::min(tile_m, tile_n);
+  if (t >= 64) {
+    return 0.80;
+  }
+  if (t >= 32) {
+    return 0.65;
+  }
+  if (t >= 16) {
+    return 0.50;
+  }
+  if (t >= 8) {
+    return 0.35;
+  }
+  return 0.22;
+}
+
+namespace {
+
+// Per-op total FLOPs over the whole problem.
+std::int64_t FullOpFlops(const Graph& graph, const Op& op) {
+  const Shape& out = graph.tensor(op.output).shape;
+  std::int64_t contraction = 1;
+  if (op.kind == OpKind::kMatMul) {
+    const Shape& a = graph.tensor(op.inputs[0]).shape;
+    contraction = op.attrs.transpose_a ? a.dim(a.rank() - 2) : a.dim(a.rank() - 1);
+  } else if (op.kind == OpKind::kReduce) {
+    const Shape& in = graph.tensor(op.inputs[0]).shape;
+    contraction = in.dim(in.rank() - 1);
+  }
+  return OpFlops(op, out.volume(), contraction);
+}
+
+// Tensors downstream of any running reduction of the temporal plan.
+std::vector<bool> DownstreamOfRunningReductions(const SmgSchedule& sched) {
+  const Graph& graph = sched.graph;
+  std::vector<bool> downstream(graph.tensors().size(), false);
+  if (!sched.has_temporal) {
+    return downstream;
+  }
+  for (const ReductionAggregation& agg : sched.plan.aggregations) {
+    downstream[static_cast<size_t>(graph.op(agg.op).output)] = true;
+  }
+  for (const Op& op : graph.ops()) {
+    for (TensorId in : op.inputs) {
+      if (downstream[static_cast<size_t>(in)]) {
+        downstream[static_cast<size_t>(op.output)] = true;
+        break;
+      }
+    }
+  }
+  return downstream;
+}
+
+}  // namespace
+
+KernelSpec LowerSchedule(const SmgSchedule& schedule, AddressMap* addresses) {
+  const Graph& graph = schedule.graph;
+  const Smg& smg = schedule.built.smg;
+
+  KernelSpec spec;
+  spec.name = graph.name();
+  spec.grid = schedule.NumBlocks();
+  spec.smem_per_block = std::max<std::int64_t>(schedule.memory.smem_bytes, 1024);
+  spec.regs_per_block_bytes = std::max<std::int64_t>(schedule.memory.reg_bytes, 16 * 1024);
+
+  const std::int64_t steps = schedule.NumIntraBlocks();
+  std::vector<bool> downstream = DownstreamOfRunningReductions(schedule);
+
+  // ---- Arithmetic work ----------------------------------------------------
+  std::int64_t flops = 0;
+  std::int64_t biggest_tile = 0;
+  double min_eff = 1.0;
+  bool has_matmul = false;
+  for (const Op& op : graph.ops()) {
+    std::int64_t base = FullOpFlops(graph, op);
+    SpaceId iter = schedule.built.op_space[static_cast<size_t>(op.id)];
+    bool in_temporal = schedule.has_temporal && smg.space(iter).HasDim(schedule.temporal.dim);
+    bool recomputed = false;
+    if (schedule.has_temporal && !in_temporal) {
+      // Ops outside the temporal dim that consume running values are
+      // re-evaluated every intra-block (epilogue recomputation).
+      for (TensorId in : op.inputs) {
+        if (downstream[static_cast<size_t>(in)]) {
+          recomputed = true;
+          break;
+        }
+      }
+    }
+    flops += recomputed ? base * steps : base;
+
+    std::int64_t tile = 1;
+    for (DimId d : smg.space(iter).dims) {
+      tile *= schedule.TileExtent(d);
+    }
+    biggest_tile = std::max(biggest_tile, tile);
+
+    if (op.kind == OpKind::kMatMul) {
+      has_matmul = true;
+      const Shape& out = graph.tensor(op.output).shape;
+      // The matmul output tile's M/N extents under the schedule.
+      std::int64_t m_full = out.dim(out.rank() - 2);
+      std::int64_t n_full = out.dim(out.rank() - 1);
+      std::int64_t tile_m = m_full;
+      std::int64_t tile_n = n_full;
+      // Tile extents of the output space's two largest dims approximate the
+      // M/N tile shape the tensor-core pipeline sees.
+      SpaceId out_space = schedule.built.tensor_space[static_cast<size_t>(op.output)];
+      std::vector<std::int64_t> tiles;
+      for (DimId d : smg.space(out_space).dims) {
+        tiles.push_back(schedule.TileExtent(d));
+      }
+      if (tiles.size() >= 2) {
+        std::sort(tiles.begin(), tiles.end());
+        tile_m = tiles[tiles.size() - 2];
+        tile_n = tiles[tiles.size() - 1];
+      } else if (tiles.size() == 1) {
+        tile_m = tiles[0];
+        tile_n = tiles[0];
+      }
+      min_eff = std::min(min_eff, MatmulTileEfficiency(tile_m, tile_n));
+    }
+  }
+  // Update-function application cost: per intra-block, per aggregation.
+  if (schedule.has_temporal) {
+    for (const ReductionAggregation& agg : schedule.plan.aggregations) {
+      if (!agg.NeedsUpdate()) {
+        continue;
+      }
+      SpaceId sink = schedule.built.tensor_space[static_cast<size_t>(graph.op(agg.op).output)];
+      std::int64_t tile = 1;
+      for (DimId d : smg.space(sink).dims) {
+        tile *= schedule.TileExtent(d);
+      }
+      flops += tile * static_cast<std::int64_t>(agg.update.size()) * 4 * steps * spec.grid;
+    }
+  }
+  spec.flops = flops;
+  spec.compute_efficiency = has_matmul ? min_eff : 0.5;
+  spec.bandwidth_efficiency = 0.92;  // auto-tuned vectorized accesses
+
+  spec.threads_per_block = biggest_tile >= 16384 ? 256 : 128;
+
+  // ---- Global-memory traffic ----------------------------------------------
+  for (const TensorInfo& t : graph.tensors()) {
+    if (t.kind == TensorKind::kConstant) {
+      continue;
+    }
+    SpaceId sid = schedule.built.tensor_space[static_cast<size_t>(t.id)];
+    const Space& space = smg.space(sid);
+
+    if (t.kind == TensorKind::kInput || t.kind == TensorKind::kWeight) {
+      TensorTraffic read;
+      read.tensor = t.name;
+      read.unique_bytes = t.bytes();
+      std::int64_t per_block = space.elem_bytes;
+      for (DimId d : space.dims) {
+        bool is_spatial = false;
+        for (const DimSlice& s : schedule.spatial) {
+          if (s.dim == d) {
+            per_block *= std::min(s.block, smg.dim(d).extent);
+            is_spatial = true;
+            break;
+          }
+        }
+        if (!is_spatial) {
+          per_block *= smg.dim(d).extent;  // streamed across intra-blocks
+        }
+      }
+      read.per_block_bytes = per_block;
+      // A tensor missing some spatial dim is re-read by every block along it.
+      bool shared = false;
+      for (const DimSlice& s : schedule.spatial) {
+        if (!space.HasDim(s.dim) && smg.dim(s.dim).extent > s.block) {
+          shared = true;
+        }
+      }
+      read.shared_across_blocks = shared;
+      MemLevel level = schedule.memory.tensor_level[static_cast<size_t>(t.id)];
+      read.touches_per_byte =
+          level == MemLevel::kGlobalStreamed
+              ? static_cast<double>(std::max<size_t>(1, graph.consumers(t.id).size()))
+              : 1.0;
+      read.base_address = addresses->Assign(t.name, read.unique_bytes);
+      spec.reads.push_back(std::move(read));
+    } else if (t.kind == TensorKind::kOutput) {
+      TensorTraffic write;
+      write.tensor = t.name;
+      write.unique_bytes = t.bytes();
+      write.per_block_bytes = std::max<std::int64_t>(1, t.bytes() / std::max<std::int64_t>(1, spec.grid));
+      write.base_address = addresses->Assign(t.name, write.unique_bytes);
+      spec.writes.push_back(std::move(write));
+    }
+    // Intermediates never reach global memory in a fused kernel.
+  }
+  return spec;
+}
+
+std::vector<KernelSpec> LowerProgram(const ScheduledProgram& program, AddressMap* addresses) {
+  std::vector<KernelSpec> kernels;
+  kernels.reserve(program.kernels.size());
+  for (const SmgSchedule& sched : program.kernels) {
+    kernels.push_back(LowerSchedule(sched, addresses));
+  }
+  return kernels;
+}
+
+}  // namespace spacefusion

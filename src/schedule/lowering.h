@@ -1,0 +1,28 @@
+// Lowers an SmgSchedule to a simulator KernelSpec.
+//
+// This is the analogue of the paper's code-generation stage (which emits
+// Triton): it translates slicing decisions and the memory plan into the
+// grid geometry, resource usage, arithmetic work, and global-memory traffic
+// that the GPU simulator executes.
+#ifndef SPACEFUSION_SRC_SCHEDULE_LOWERING_H_
+#define SPACEFUSION_SRC_SCHEDULE_LOWERING_H_
+
+#include "src/schedule/schedule_ir.h"
+#include "src/sim/kernel.h"
+
+namespace spacefusion {
+
+// Lowers one scheduled SMG (one fused kernel). `addresses` assigns stable
+// simulated addresses across kernels so the trace simulator sees
+// producer-consumer reuse.
+KernelSpec LowerSchedule(const SmgSchedule& schedule, AddressMap* addresses);
+
+// Lowers a partitioned program: one kernel per SmgSchedule.
+std::vector<KernelSpec> LowerProgram(const ScheduledProgram& program, AddressMap* addresses);
+
+// Block-shape-dependent fraction of tensor-core peak a matmul tile reaches.
+double MatmulTileEfficiency(std::int64_t tile_m, std::int64_t tile_n);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_LOWERING_H_

@@ -1,0 +1,195 @@
+#include "src/schedule/memory_planner.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Tile bytes of a tensor's data space under the schedule's current slicing.
+std::int64_t TileBytes(const SmgSchedule& sched, TensorId tensor) {
+  SpaceId sid = sched.built.tensor_space[static_cast<size_t>(tensor)];
+  const Space& space = sched.built.smg.space(sid);
+  std::int64_t elems = 1;
+  for (DimId d : space.dims) {
+    elems *= sched.TileExtent(d);
+  }
+  return elems * space.elem_bytes;
+}
+
+// True if every mapping incident to the tensor's data space is One-to-One.
+bool OnlyOneToOne(const SmgSchedule& sched, TensorId tensor) {
+  const Smg& smg = sched.built.smg;
+  SpaceId sid = sched.built.tensor_space[static_cast<size_t>(tensor)];
+  for (MappingId mid : smg.outgoing(sid)) {
+    if (smg.mapping(mid).kind != MappingKind::kOneToOne) {
+      return false;
+    }
+  }
+  for (MappingId mid : smg.incoming(sid)) {
+    if (smg.mapping(mid).kind != MappingKind::kOneToOne) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True if the tensor is the sink of an All-to-One (a running accumulator).
+bool IsReductionSink(const SmgSchedule& sched, TensorId tensor) {
+  const Smg& smg = sched.built.smg;
+  SpaceId sid = sched.built.tensor_space[static_cast<size_t>(tensor)];
+  for (MappingId mid : smg.incoming(sid)) {
+    if (smg.mapping(mid).kind == MappingKind::kAllToOne) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True if a reduction-bearing op executes between the tensor's producer and
+// its last consumer: the value cannot stay in flight-through registers, it
+// must be materialized across the reduction barrier.
+bool CrossesReduction(const SmgSchedule& sched, TensorId tensor) {
+  const Graph& graph = sched.graph;
+  OpId prod = graph.producer(tensor);
+  const std::vector<OpId>& consumers = graph.consumers(tensor);
+  if (prod < 0 || consumers.empty()) {
+    return false;
+  }
+  OpId last = *std::max_element(consumers.begin(), consumers.end());
+  for (OpId i = prod + 1; i < last; ++i) {
+    OpKind kind = graph.op(i).kind;
+    if (kind == OpKind::kReduce || kind == OpKind::kMatMul) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Shared-memory arenas of transient register values: a nominal per-tensor
+// charge reflecting per-thread live registers, not a whole materialized tile.
+constexpr std::int64_t kTransientRegisterBytes = 2048;
+
+}  // namespace
+
+std::int64_t OnChipElemBytes(MemLevel level, std::int64_t storage_bytes) {
+  // Register-resident values (accumulators in particular) are FP32.
+  return level == MemLevel::kRegister ? 4 : storage_bytes;
+}
+
+void PlanMemory(SmgSchedule* schedule, const ResourceConfig& rc) {
+  const Graph& graph = schedule->graph;
+  MemoryPlan plan;
+  plan.tensor_level.assign(graph.tensors().size(), MemLevel::kGlobal);
+
+  // Inputs are staged into shared memory while a tile fits in half the
+  // block budget (single-pass access); weights prefer streaming through L2
+  // (they are reused across many blocks anyway) unless they are tiny.
+  const std::int64_t input_stage_threshold = rc.smem_per_block_max / 2;
+  const std::int64_t weight_stage_threshold = 16 * 1024;
+
+  for (const TensorInfo& t : graph.tensors()) {
+    switch (t.kind) {
+      case TensorKind::kConstant:
+        plan.tensor_level[static_cast<size_t>(t.id)] = MemLevel::kRegister;
+        break;
+      case TensorKind::kInput:
+      case TensorKind::kWeight: {
+        std::int64_t tile = TileBytes(*schedule, t.id);
+        std::int64_t threshold =
+            t.kind == TensorKind::kInput ? input_stage_threshold : weight_stage_threshold;
+        plan.tensor_level[static_cast<size_t>(t.id)] =
+            tile <= threshold ? MemLevel::kShared : MemLevel::kGlobalStreamed;
+        break;
+      }
+      case TensorKind::kOutput:
+        plan.tensor_level[static_cast<size_t>(t.id)] =
+            IsReductionSink(*schedule, t.id) ? MemLevel::kRegister : MemLevel::kGlobal;
+        break;
+      case TensorKind::kIntermediate:
+        if (IsReductionSink(*schedule, t.id)) {
+          plan.tensor_level[static_cast<size_t>(t.id)] = MemLevel::kRegister;
+        } else if (OnlyOneToOne(*schedule, t.id) &&
+                   !CrossesReduction(*schedule, t.id)) {
+          // Pure streaming value: consumed as it is produced, lives in
+          // per-thread registers only (never materialized as a tile).
+          plan.tensor_level[static_cast<size_t>(t.id)] = MemLevel::kRegister;
+        } else {
+          // Must survive a reduction barrier (e.g. exp values consumed
+          // again after the row sum) or feeds/absorbs a directional
+          // mapping: the whole tile is materialized in shared memory.
+          plan.tensor_level[static_cast<size_t>(t.id)] = MemLevel::kShared;
+        }
+        break;
+    }
+  }
+
+  // Liveness pass: an op-indexed timeline; tensor t is live from its
+  // producer (or 0 for inputs) until its last consumer (or the end for
+  // outputs). Peak simultaneous footprint per level bounds the block.
+  const int num_ops = static_cast<int>(graph.ops().size());
+  std::vector<std::int64_t> smem_delta(static_cast<size_t>(num_ops) + 2, 0);
+  std::vector<std::int64_t> reg_delta(static_cast<size_t>(num_ops) + 2, 0);
+
+  for (const TensorInfo& t : graph.tensors()) {
+    MemLevel level = plan.tensor_level[static_cast<size_t>(t.id)];
+    if (level != MemLevel::kShared && level != MemLevel::kRegister) {
+      continue;
+    }
+    if (t.kind == TensorKind::kConstant) {
+      continue;  // negligible
+    }
+    std::int64_t elems = TileBytes(*schedule, t.id) /
+                         std::max<std::int64_t>(1, DTypeSize(t.dtype));
+    std::int64_t bytes = elems * OnChipElemBytes(level, DTypeSize(t.dtype));
+    if (level == MemLevel::kRegister && !IsReductionSink(*schedule, t.id)) {
+      // Streaming value: only a per-thread window is ever live.
+      bytes = std::min(bytes, kTransientRegisterBytes);
+    }
+
+    const std::vector<OpId>& consumers = graph.consumers(t.id);
+    int start = 0;
+    OpId prod = graph.producer(t.id);
+    if (prod >= 0) {
+      start = prod;
+    } else if (!consumers.empty()) {
+      // Staged inputs are loaded right before their first use, not at
+      // kernel start — deep fused chains (20 MLP layers) would otherwise
+      // hold every future tile simultaneously.
+      start = *std::min_element(consumers.begin(), consumers.end());
+    }
+    int end = num_ops;  // outputs and unconsumed tensors live to the end
+    if (!consumers.empty() &&
+        (t.kind == TensorKind::kIntermediate || t.kind == TensorKind::kInput ||
+         t.kind == TensorKind::kWeight)) {
+      end = *std::max_element(consumers.begin(), consumers.end()) + 1;
+    }
+    if (level == MemLevel::kShared) {
+      smem_delta[static_cast<size_t>(start)] += bytes;
+      smem_delta[static_cast<size_t>(end)] -= bytes;
+    } else {
+      reg_delta[static_cast<size_t>(start)] += bytes;
+      reg_delta[static_cast<size_t>(end)] -= bytes;
+    }
+  }
+
+  std::int64_t smem_cur = 0, smem_peak = 0, reg_cur = 0, reg_peak = 0;
+  for (size_t i = 0; i < smem_delta.size(); ++i) {
+    smem_cur += smem_delta[i];
+    reg_cur += reg_delta[i];
+    smem_peak = std::max(smem_peak, smem_cur);
+    reg_peak = std::max(reg_peak, reg_cur);
+  }
+  plan.smem_bytes = smem_peak;
+  plan.reg_bytes = reg_peak;
+  schedule->memory = std::move(plan);
+}
+
+bool CheckResources(const SmgSchedule& schedule, const ResourceConfig& rc) {
+  return schedule.memory.smem_bytes <= rc.smem_per_block_max &&
+         schedule.memory.reg_bytes <= rc.reg_per_block_max;
+}
+
+}  // namespace spacefusion

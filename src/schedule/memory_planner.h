@@ -1,0 +1,49 @@
+// Memory-hierarchy scheduling (paper Sec. 5.4) and the per-block resource
+// accounting behind checkRsrc() in Algorithm 1.
+//
+// Placement rules:
+//  * data spaces connected only through One-to-One mappings live in
+//    registers (per-thread values, matmul accumulators);
+//  * sources of One-to-Alls and sinks of All-to-Ones live in shared memory
+//    (repeated access, inter-thread communication);
+//  * kernel inputs/outputs live in global memory; small input tiles are
+//    staged into shared memory, oversized shared operands (large weights)
+//    are streamed through L2 instead.
+// Footprints are computed with a liveness pass over the op sequence, so
+// long chains (e.g. 20 fused MLP layers) only pay for the tiles that are
+// simultaneously live.
+#ifndef SPACEFUSION_SRC_SCHEDULE_MEMORY_PLANNER_H_
+#define SPACEFUSION_SRC_SCHEDULE_MEMORY_PLANNER_H_
+
+#include "src/schedule/schedule_ir.h"
+#include "src/sim/arch.h"
+
+namespace spacefusion {
+
+// The hardware resource configuration (RCfg) that bounds a schedule.
+struct ResourceConfig {
+  std::int64_t smem_per_block_max = 96 * 1024;
+  std::int64_t reg_per_block_max = 256 * 1024;
+
+  static ResourceConfig FromArch(const GpuArch& arch) {
+    ResourceConfig rc;
+    rc.smem_per_block_max = arch.smem_per_block_max;
+    rc.reg_per_block_max = arch.reg_per_block_max;
+    return rc;
+  }
+};
+
+// Computes level assignments and peak footprints for the schedule's current
+// block sizes; stores the result into schedule->memory.
+void PlanMemory(SmgSchedule* schedule, const ResourceConfig& rc);
+
+// True when the planned footprints respect the per-block bounds.
+bool CheckResources(const SmgSchedule& schedule, const ResourceConfig& rc);
+
+// Bytes of one on-chip element of a tensor at a given level (accumulators
+// are kept in FP32).
+std::int64_t OnChipElemBytes(MemLevel level, std::int64_t storage_bytes);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_MEMORY_PLANNER_H_

@@ -1,0 +1,176 @@
+#include "src/schedule/partitioner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+bool HasAllToOne(const Op& op) {
+  return op.kind == OpKind::kMatMul || op.kind == OpKind::kReduce;
+}
+}  // namespace
+
+std::vector<int> SubSmgBoundaries(const Graph& graph) {
+  std::vector<int> boundaries;
+  const int n = static_cast<int>(graph.ops().size());
+  for (int i = 1; i < n; ++i) {
+    const Op& prev = graph.op(i - 1);
+    const Op& cur = graph.op(i);
+    // A boundary exists wherever a reduction sub-SMG starts or ends; runs of
+    // non-A2O ops form single sub-SMGs with no interior boundaries.
+    if (HasAllToOne(prev) || HasAllToOne(cur)) {
+      boundaries.push_back(i);
+    }
+  }
+  return boundaries;
+}
+
+bool SegmentIsNonA2o(const Graph& graph, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    if (HasAllToOne(graph.op(i))) {
+      return false;
+    }
+  }
+  return begin < end;
+}
+
+std::pair<Graph, Graph> SplitGraph(const Graph& graph, int prefix_ops) {
+  const int n = static_cast<int>(graph.ops().size());
+  SF_CHECK_GT(prefix_ops, 0);
+  SF_CHECK_LT(prefix_ops, n);
+
+  // Which tensors cross the cut (produced by the prefix, needed later)?
+  std::vector<bool> needed_by_suffix(graph.tensors().size(), false);
+  for (int i = prefix_ops; i < n; ++i) {
+    for (TensorId in : graph.op(i).inputs) {
+      needed_by_suffix[static_cast<size_t>(in)] = true;
+    }
+  }
+
+  Graph front(StrCat(graph.name(), ".f"));
+  Graph back(StrCat(graph.name(), ".l"));
+  std::vector<TensorId> front_id(graph.tensors().size(), kInvalidTensor);
+  std::vector<TensorId> back_id(graph.tensors().size(), kInvalidTensor);
+
+  auto import_tensor = [&graph](Graph* dst, std::vector<TensorId>* ids, TensorId old,
+                                TensorKind kind_override, bool use_override) {
+    if ((*ids)[static_cast<size_t>(old)] != kInvalidTensor) {
+      return (*ids)[static_cast<size_t>(old)];
+    }
+    TensorInfo info = graph.tensor(old);
+    if (use_override) {
+      info.kind = kind_override;
+    }
+    TensorId fresh = dst->AddTensor(std::move(info));
+    (*ids)[static_cast<size_t>(old)] = fresh;
+    return fresh;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const Op& op = graph.op(i);
+    bool in_front = i < prefix_ops;
+    Graph* dst = in_front ? &front : &back;
+    std::vector<TensorId>* ids = in_front ? &front_id : &back_id;
+
+    Op copy = op;
+    copy.inputs.clear();
+    for (TensorId in : op.inputs) {
+      const TensorInfo& t = graph.tensor(in);
+      bool produced_in_front = graph.producer(in) >= 0 && graph.producer(in) < prefix_ops;
+      if (!in_front && produced_in_front) {
+        // Cut tensor: duplicated as a fresh input of the latter graph.
+        copy.inputs.push_back(
+            import_tensor(&back, &back_id, in, TensorKind::kInput, /*use_override=*/true));
+      } else {
+        copy.inputs.push_back(import_tensor(dst, ids, in, t.kind, /*use_override=*/false));
+      }
+    }
+
+    const TensorInfo& out = graph.tensor(op.output);
+    bool cut_output = in_front && (needed_by_suffix[static_cast<size_t>(op.output)]);
+    TensorKind out_kind = out.kind;
+    if (cut_output && out_kind == TensorKind::kIntermediate) {
+      out_kind = TensorKind::kOutput;  // must be materialized for the suffix
+    }
+    copy.output = import_tensor(dst, ids, op.output, out_kind, /*use_override=*/true);
+    dst->AddOp(std::move(copy));
+  }
+
+  Status fs = front.Validate();
+  SF_CHECK(fs.ok()) << fs.ToString();
+  Status bs = back.Validate();
+  SF_CHECK(bs.ok()) << bs.ToString();
+  return {std::move(front), std::move(back)};
+}
+
+std::vector<Graph> SplitAtComputeBoundaries(const Graph& graph) {
+  const int n = static_cast<int>(graph.ops().size());
+  // Segment lengths: matmul singletons and maximal non-matmul runs.
+  std::vector<int> lengths;
+  int i = 0;
+  while (i < n) {
+    if (graph.op(i).kind == OpKind::kMatMul) {
+      lengths.push_back(1);
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && graph.op(j).kind != OpKind::kMatMul) {
+      ++j;
+    }
+    lengths.push_back(j - i);
+    i = j;
+  }
+  if (lengths.size() <= 1) {
+    return {graph};
+  }
+  std::vector<Graph> out;
+  Graph remaining = graph;
+  for (size_t s = 0; s + 1 < lengths.size(); ++s) {
+    auto [front, rest] = SplitGraph(remaining, lengths[s]);
+    out.push_back(std::move(front));
+    remaining = std::move(rest);
+  }
+  out.push_back(std::move(remaining));
+  return out;
+}
+
+StatusOr<PartitionOutcome> PartitionOnce(const Graph& graph, const ResourceConfig& rc,
+                                         const SlicingOptions& options) {
+  std::vector<int> cuts = SubSmgBoundaries(graph);
+  if (cuts.empty()) {
+    return Unschedulable(
+        StrCat("SMG ", graph.name(), " cannot be partitioned further (single sub-SMG)"));
+  }
+
+  // Gf starts as the whole graph; move the last sub-SMG to Gl until Gf is
+  // schedulable (Algorithm 2's loop, expressed as descending cut points).
+  for (int ci = static_cast<int>(cuts.size()) - 1; ci >= 0; --ci) {
+    int cut = cuts[static_cast<size_t>(ci)];
+    auto [front_graph, back_graph] = SplitGraph(graph, cut);
+    StatusOr<SlicingResult> sliced = ResourceAwareSlicing(front_graph, rc, options);
+    if (!sliced.ok()) {
+      continue;
+    }
+    PartitionOutcome outcome;
+    outcome.front = std::move(sliced).value();
+    outcome.rest = std::move(back_graph);
+    outcome.has_rest = true;
+    // Sec. 5.3: one further exploration level — if the sub-SMG just before
+    // the cut is non-A2O, moving it to Gl as well forms a second candidate.
+    if (ci > 0) {
+      int prev_cut = cuts[static_cast<size_t>(ci - 1)];
+      if (SegmentIsNonA2o(graph, prev_cut, cut)) {
+        outcome.alternative_cuts.push_back(prev_cut);
+      }
+    }
+    return outcome;
+  }
+  return Unschedulable(StrCat("no schedulable prefix exists for SMG ", graph.name()));
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,58 @@
+// SMG partitioning — the paper's Algorithm 2 plus the candidate-schedule
+// exploration of Sec. 5.3.
+//
+// When resource-aware slicing declares an SMG unschedulable (the fusion was
+// too aggressive), the SMG is reorganized into sub-SMGs — each All-to-One
+// (reduction-bearing operator) forms its own sub-SMG, maximal runs of
+// non-reduction operators form non-All-to-One sub-SMGs — and split into a
+// schedulable former part Gf and a latter part Gl that re-enters slicing.
+// The intermediate tensors at the cut are duplicated (outputs of Gf, inputs
+// of Gl).
+#ifndef SPACEFUSION_SRC_SCHEDULE_PARTITIONER_H_
+#define SPACEFUSION_SRC_SCHEDULE_PARTITIONER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/schedule/resource_aware.h"
+
+namespace spacefusion {
+
+// Valid split points: prefix op counts at sub-SMG boundaries, ascending,
+// excluding 0 and the full op count.
+std::vector<int> SubSmgBoundaries(const Graph& graph);
+
+// True when the ops in [begin, end) contain no All-to-One-bearing operator
+// (used by Sec. 5.3 candidate exploration: non-A2O sub-SMGs are the ones
+// worth re-attaching to the latter SMG).
+bool SegmentIsNonA2o(const Graph& graph, int begin, int end);
+
+// Splits at `prefix_ops`: the first graph contains ops [0, prefix_ops), the
+// second the rest; cut tensors are duplicated as outputs/inputs.
+std::pair<Graph, Graph> SplitGraph(const Graph& graph, int prefix_ops);
+
+// One round of Algorithm 2: finds the largest schedulable prefix. Returns
+// the sliced front, its search space, and the remaining latter graph.
+struct PartitionOutcome {
+  SlicingResult front;
+  Graph rest;
+  bool has_rest = false;
+  // Sec. 5.3: an alternative cut one non-A2O sub-SMG earlier, when legal.
+  // Tuning picks between the two candidates.
+  std::vector<int> alternative_cuts;
+};
+
+StatusOr<PartitionOutcome> PartitionOnce(const Graph& graph, const ResourceConfig& rc,
+                                         const SlicingOptions& options);
+
+// Splits at every compute-intensity boundary: each matmul becomes its own
+// graph, maximal runs of memory-intensive ops stay together. This is the
+// conservative candidate program of Sec. 5.3's exploration — aggressive
+// fusion is not always profitable (e.g. giant-weight GEMM chains whose
+// operands exceed L2), and the tuner picks between the fused and the split
+// candidates by measurement.
+std::vector<Graph> SplitAtComputeBoundaries(const Graph& graph);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_PARTITIONER_H_

@@ -1,0 +1,31 @@
+// The slicing <-> partitioning state machine of the system overview
+// (paper Fig. 9): resource-aware slicing on each SMG; on failure, partition
+// and resubmit the parts, until every SMG has a schedule and search space.
+//
+// Sec. 5.3: when a partition round reports an alternative cut (a non-A2O
+// sub-SMG that can move to the latter graph), a second complete program
+// candidate is produced; the tuner picks between candidates.
+#ifndef SPACEFUSION_SRC_SCHEDULE_PIPELINE_H_
+#define SPACEFUSION_SRC_SCHEDULE_PIPELINE_H_
+
+#include "src/schedule/partitioner.h"
+
+namespace spacefusion {
+
+// One fully scheduled program candidate: the kernels (with search spaces)
+// that together compute the original subprogram.
+struct ProgramCandidate {
+  std::vector<SlicingResult> kernels;
+  int partition_rounds = 0;
+};
+
+struct PipelineResult {
+  std::vector<ProgramCandidate> candidates;  // >= 1 on success
+};
+
+StatusOr<PipelineResult> RunSlicingPipeline(const Graph& graph, const ResourceConfig& rc,
+                                            const SlicingOptions& options);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_PIPELINE_H_

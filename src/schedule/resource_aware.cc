@@ -1,0 +1,68 @@
+#include "src/schedule/resource_aware.h"
+
+#include "src/slicing/slicers.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceConfig& rc,
+                                             const SlicingOptions& options) {
+  SF_ASSIGN_OR_RETURN(SmgBuildResult built, BuildSmg(graph));
+
+  SlicingResult result;
+  result.schedule.graph = graph;
+  result.schedule.built = std::move(built);
+  SmgSchedule& sched = result.schedule;
+
+  // --- Spatial slicing (Alg. 1 lines 3-8) --------------------------------
+  std::vector<DimId> spatial_dims = SpatialSlicer::GetDims(sched.built.smg);
+  if (spatial_dims.empty()) {
+    return Unschedulable(
+        StrCat("SMG ", graph.name(), " has no spatially sliceable dim; cannot parallelize"));
+  }
+  for (DimId d : spatial_dims) {
+    DimSlice s;
+    s.dim = d;
+    s.block = 1;
+    sched.spatial.push_back(s);
+  }
+
+  std::vector<ScheduleConfig> spatial_configs =
+      EnumerateConfigs(&sched, rc, /*include_temporal=*/false, options.search);
+  for (ScheduleConfig& c : spatial_configs) {
+    result.configs.push_back(std::move(c));
+  }
+
+  // --- Temporal slicing (Alg. 1 lines 9-14) ------------------------------
+  // Attempted whether or not spatial slicing alone met the resource bounds:
+  // some SMGs only become efficient (or feasible at all) once serialized.
+  if (options.enable_temporal) {
+    StatusOr<TemporalChoice> choice =
+        TemporalSlicer::GetPriorDim(graph, sched.built, spatial_dims, options.allow_uta);
+    if (choice.ok()) {
+      sched.has_temporal = true;
+      sched.temporal.dim = choice->dim;
+      sched.temporal.block = sched.built.smg.dim(choice->dim).extent;
+      sched.plan = choice->plan;
+      std::vector<ScheduleConfig> temporal_configs =
+          EnumerateConfigs(&sched, rc, /*include_temporal=*/true, options.search);
+      for (ScheduleConfig& c : temporal_configs) {
+        result.configs.push_back(std::move(c));
+      }
+    }
+  }
+
+  if (result.configs.empty()) {
+    return Unschedulable(StrCat("SMG ", graph.name(),
+                                " exceeds hardware resource bounds under every enumerated "
+                                "configuration"));
+  }
+  // Leave the schedule on its first feasible config so callers always see a
+  // consistent memory plan.
+  sched.ApplyConfig(result.configs.front());
+  PlanMemory(&sched, rc);
+  return result;
+}
+
+}  // namespace spacefusion

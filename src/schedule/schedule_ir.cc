@@ -1,0 +1,90 @@
+#include "src/schedule/schedule_ir.h"
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+const char* MemLevelName(MemLevel level) {
+  switch (level) {
+    case MemLevel::kRegister:
+      return "reg";
+    case MemLevel::kShared:
+      return "smem";
+    case MemLevel::kGlobal:
+      return "global";
+    case MemLevel::kGlobalStreamed:
+      return "global-streamed";
+  }
+  return "?";
+}
+
+std::string ScheduleConfig::ToString() const {
+  std::ostringstream out;
+  out << "spatial[" << StrJoin(spatial_blocks, ",") << "]";
+  if (use_temporal) {
+    out << " temporal_step=" << temporal_step;
+  }
+  return out.str();
+}
+
+std::int64_t SmgSchedule::NumBlocks() const {
+  std::int64_t blocks = 1;
+  for (const DimSlice& s : spatial) {
+    blocks *= CeilDiv(built.smg.dim(s.dim).extent, s.block);
+  }
+  return blocks;
+}
+
+std::int64_t SmgSchedule::NumIntraBlocks() const {
+  if (!has_temporal || temporal.block <= 0) {
+    return 1;
+  }
+  return CeilDiv(built.smg.dim(temporal.dim).extent, temporal.block);
+}
+
+std::int64_t SmgSchedule::TileExtent(DimId dim) const {
+  for (const DimSlice& s : spatial) {
+    if (s.dim == dim) {
+      return std::min(s.block, built.smg.dim(dim).extent);
+    }
+  }
+  if (has_temporal && temporal.dim == dim) {
+    return std::min(temporal.block, built.smg.dim(dim).extent);
+  }
+  return built.smg.dim(dim).extent;
+}
+
+void SmgSchedule::ApplyConfig(const ScheduleConfig& config) {
+  SF_CHECK_EQ(config.spatial_blocks.size(), spatial.size());
+  for (size_t i = 0; i < spatial.size(); ++i) {
+    spatial[i].block = config.spatial_blocks[i];
+  }
+  if (has_temporal) {
+    if (config.use_temporal && config.temporal_step > 0) {
+      temporal.block = config.temporal_step;
+    } else {
+      // Temporal slicing disabled for this config: a single intra-block
+      // spanning the whole dim.
+      temporal.block = built.smg.dim(temporal.dim).extent;
+    }
+  }
+}
+
+std::string SmgSchedule::ToString() const {
+  std::ostringstream out;
+  out << "schedule " << graph.name() << ": grid=" << NumBlocks() << " [";
+  for (const DimSlice& s : spatial) {
+    out << " " << built.smg.dim(s.dim).name << "/" << s.block;
+  }
+  out << " ]";
+  if (has_temporal) {
+    out << " temporal " << built.smg.dim(temporal.dim).name << "/" << temporal.block << " x"
+        << NumIntraBlocks();
+  }
+  out << " smem=" << memory.smem_bytes << "B regs=" << memory.reg_bytes << "B";
+  return out.str();
+}
+
+}  // namespace spacefusion

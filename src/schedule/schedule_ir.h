@@ -1,0 +1,83 @@
+// Schedule intermediate representation: the result of slicing an SMG.
+//
+// An SmgSchedule records which dims were spatially sliced (grid dims), the
+// optional temporal dim with its aggregation plan, the chosen block sizes,
+// and the memory-hierarchy placement of every tensor (paper Sec. 5.4).
+#ifndef SPACEFUSION_SRC_SCHEDULE_SCHEDULE_IR_H_
+#define SPACEFUSION_SRC_SCHEDULE_SCHEDULE_IR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/slicing/update_functions.h"
+#include "src/smg/smg_builder.h"
+
+namespace spacefusion {
+
+// Where a tensor's working tile lives during kernel execution (Sec. 5.4).
+enum class MemLevel {
+  kRegister,        // O2O-connected intermediates, accumulators
+  kShared,          // O2A sources / A2O sinks / staged input tiles
+  kGlobal,          // kernel inputs & outputs (tiled per block)
+  kGlobalStreamed,  // large shared operands streamed through L2 (weights)
+};
+
+const char* MemLevelName(MemLevel level);
+
+struct MemoryPlan {
+  std::vector<MemLevel> tensor_level;  // indexed by TensorId
+  std::int64_t smem_bytes = 0;         // peak live shared-memory per block
+  std::int64_t reg_bytes = 0;          // register bytes per block
+};
+
+// Tile extent chosen for one sliced dim.
+struct DimSlice {
+  DimId dim = kNoDim;
+  std::int64_t block = 1;
+};
+
+// Candidate block-size assignment enumerated by the search space.
+struct ScheduleConfig {
+  std::vector<std::int64_t> spatial_blocks;  // parallel to SmgSchedule::spatial
+  std::int64_t temporal_step = 0;            // 0 => temporal slicing disabled
+  bool use_temporal = false;
+
+  std::string ToString() const;
+};
+
+struct SmgSchedule {
+  Graph graph;
+  SmgBuildResult built;
+
+  std::vector<DimSlice> spatial;      // spatially sliced dims with block sizes
+  bool has_temporal = false;
+  DimSlice temporal;                  // valid when has_temporal
+  TemporalPlan plan;                  // aggregation plan for the temporal dim
+
+  MemoryPlan memory;
+
+  // Grid size: number of independent SMG blocks.
+  std::int64_t NumBlocks() const;
+  // Number of serial intra-blocks along the temporal dim (1 when disabled).
+  std::int64_t NumIntraBlocks() const;
+
+  // The tile extent of `dim` inside one SMG block (block size if spatially
+  // sliced, step if temporal, full extent otherwise).
+  std::int64_t TileExtent(DimId dim) const;
+
+  // Applies a config's block sizes (memory plan must be recomputed after).
+  void ApplyConfig(const ScheduleConfig& config);
+
+  std::string ToString() const;
+};
+
+// A compiled subprogram: one kernel per partition, executed in sequence.
+struct ScheduledProgram {
+  std::vector<SmgSchedule> kernels;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_SCHEDULE_IR_H_

@@ -1,0 +1,105 @@
+#include "src/schedule/search_space.h"
+
+#include <algorithm>
+
+#include "src/slicing/dim_analysis.h"
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Candidate tile extents for one spatial dim.
+std::vector<std::int64_t> SpatialCandidates(const Smg& smg, DimId dim, std::int64_t max_block,
+                                            std::int64_t min_block) {
+  std::int64_t extent = smg.dim(dim).extent;
+  DimClass cls = AnalyzeDim(smg, dim).cls;
+  if (cls == DimClass::kFree) {
+    // Dependency-free dims (batch, heads) parallelize fully; tiling them
+    // only reduces parallelism without any locality benefit.
+    return {1};
+  }
+  std::vector<std::int64_t> out;
+  for (std::int64_t b = min_block; b <= std::min(extent, max_block); b *= 2) {
+    out.push_back(b);
+  }
+  if (out.empty()) {
+    out.push_back(std::min(extent, min_block));
+  }
+  if (extent <= max_block && out.back() != extent) {
+    out.push_back(extent);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> TemporalCandidates(const Smg& smg, DimId dim, std::int64_t max_block) {
+  std::int64_t extent = smg.dim(dim).extent;
+  std::vector<std::int64_t> out;
+  for (std::int64_t b = 16; b <= std::min(extent, max_block); b *= 2) {
+    out.push_back(b);
+  }
+  if (out.empty()) {
+    out.push_back(extent);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const ResourceConfig& rc,
+                                             bool include_temporal,
+                                             const SearchOptions& options) {
+  const Smg& smg = schedule->built.smg;
+
+  std::vector<std::vector<std::int64_t>> per_dim;
+  per_dim.reserve(schedule->spatial.size());
+  for (const DimSlice& s : schedule->spatial) {
+    per_dim.push_back(SpatialCandidates(smg, s.dim, options.max_block, options.min_block));
+  }
+
+  std::vector<std::int64_t> temporal_steps;
+  if (include_temporal && schedule->has_temporal) {
+    temporal_steps = TemporalCandidates(smg, schedule->temporal.dim, options.max_block);
+  } else {
+    temporal_steps = {0};  // sentinel: temporal disabled
+  }
+
+  std::vector<ScheduleConfig> feasible;
+  std::vector<size_t> index(per_dim.size(), 0);
+  bool done = per_dim.empty() && temporal_steps.empty();
+  while (!done) {
+    for (std::int64_t step : temporal_steps) {
+      ScheduleConfig config;
+      config.spatial_blocks.reserve(per_dim.size());
+      for (size_t i = 0; i < per_dim.size(); ++i) {
+        config.spatial_blocks.push_back(per_dim[i][index[i]]);
+      }
+      config.use_temporal = step > 0;
+      config.temporal_step = step;
+
+      schedule->ApplyConfig(config);
+      PlanMemory(schedule, rc);
+      if (CheckResources(*schedule, rc)) {
+        feasible.push_back(config);
+        if (static_cast<int>(feasible.size()) >= options.max_configs) {
+          return feasible;
+        }
+      }
+    }
+    // Advance the cartesian iterator.
+    done = true;
+    for (size_t i = 0; i < index.size(); ++i) {
+      if (++index[i] < per_dim[i].size()) {
+        done = false;
+        break;
+      }
+      index[i] = 0;
+    }
+    if (per_dim.empty()) {
+      break;
+    }
+  }
+  return feasible;
+}
+
+}  // namespace spacefusion

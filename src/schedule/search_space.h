@@ -1,0 +1,36 @@
+// Schedule search-space generation (paper Sec. 5.1, last paragraph).
+//
+// Block sizes are enumerated exponentially (powers of two) per sliced dim
+// and intersected with the shared-memory / register bounds, which keeps the
+// search space small enough to exhaustively measure (Table 4).
+#ifndef SPACEFUSION_SRC_SCHEDULE_SEARCH_SPACE_H_
+#define SPACEFUSION_SRC_SCHEDULE_SEARCH_SPACE_H_
+
+#include <vector>
+
+#include "src/schedule/memory_planner.h"
+#include "src/schedule/schedule_ir.h"
+
+namespace spacefusion {
+
+struct SearchOptions {
+  // Largest tile extent enumerated along any dim.
+  std::int64_t max_block = 256;
+  // Smallest tile extent for non-free dims (tile-graph compilers align to
+  // hardware MMA tiles and cannot shrink below 16).
+  std::int64_t min_block = 1;
+  // Hard cap on emitted configs (exhaustive tuning stays cheap).
+  int max_configs = 256;
+};
+
+// Enumerates resource-feasible block-size configurations for the schedule.
+// `include_temporal` additionally sweeps the temporal step when the
+// schedule has a temporal dim. The schedule's block sizes are left at the
+// last probed config; callers re-apply the chosen config.
+std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const ResourceConfig& rc,
+                                             bool include_temporal,
+                                             const SearchOptions& options = SearchOptions());
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_SEARCH_SPACE_H_

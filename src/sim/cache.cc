@@ -1,0 +1,67 @@
+#include "src/sim/cache.h"
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+SetAssociativeCache::SetAssociativeCache(std::int64_t capacity_bytes, int line_bytes,
+                                         int associativity)
+    : capacity_(capacity_bytes), line_bytes_(line_bytes), assoc_(associativity) {
+  SF_CHECK_GT(line_bytes_, 0);
+  SF_CHECK_GT(assoc_, 0);
+  num_sets_ = capacity_bytes / (static_cast<std::int64_t>(line_bytes_) * assoc_);
+  if (num_sets_ < 1) {
+    num_sets_ = 1;
+  }
+  ways_.assign(static_cast<size_t>(num_sets_ * assoc_), Way{});
+}
+
+bool SetAssociativeCache::Access(std::int64_t address) {
+  ++tick_;
+  ++stats_.accesses;
+  std::int64_t line = address / line_bytes_;
+  std::int64_t set = line % num_sets_;
+  Way* base = &ways_[static_cast<size_t>(set * assoc_)];
+
+  Way* victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = base[w];
+    if (way.tag == line) {
+      way.last_use = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (way.last_use < victim->last_use || victim->tag == line) {
+      victim = &way;
+    }
+    if (way.tag == -1) {
+      victim = &way;
+      break;
+    }
+  }
+  victim->tag = line;
+  victim->last_use = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+std::int64_t SetAssociativeCache::AccessRange(std::int64_t base, std::int64_t bytes) {
+  std::int64_t first_line = base / line_bytes_;
+  std::int64_t last_line = (base + bytes - 1) / line_bytes_;
+  std::int64_t misses = 0;
+  for (std::int64_t line = first_line; line <= last_line; ++line) {
+    if (!Access(line * line_bytes_)) {
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+void SetAssociativeCache::Reset() {
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,55 @@
+// Set-associative LRU cache model used by the trace-driven memory simulator
+// (Fig. 15 reproduction: L1/L2 miss counts and device-memory traffic).
+#ifndef SPACEFUSION_SRC_SIM_CACHE_H_
+#define SPACEFUSION_SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spacefusion {
+
+struct CacheStats {
+  std::int64_t accesses = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+
+  double MissRate() const { return accesses == 0 ? 0.0 : static_cast<double>(misses) / accesses; }
+};
+
+// A classic set-associative cache with true-LRU replacement. Addresses are
+// byte addresses in a flat simulated address space; AccessRange touches every
+// line a [base, base+bytes) range covers.
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(std::int64_t capacity_bytes, int line_bytes, int associativity);
+
+  // Touches one line; returns true on hit.
+  bool Access(std::int64_t address);
+
+  // Touches all lines of a byte range; returns the number of misses.
+  std::int64_t AccessRange(std::int64_t base, std::int64_t bytes);
+
+  void Reset();
+
+  const CacheStats& stats() const { return stats_; }
+  std::int64_t capacity_bytes() const { return capacity_; }
+  int line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Way {
+    std::int64_t tag = -1;
+    std::uint64_t last_use = 0;
+  };
+
+  std::int64_t capacity_;
+  int line_bytes_;
+  int assoc_;
+  std::int64_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ * assoc_
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SIM_CACHE_H_

@@ -1,0 +1,106 @@
+#include "src/sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+int CostModel::BlocksPerSm(const KernelSpec& kernel) const {
+  int by_limit = arch_.max_blocks_per_sm;
+  int by_threads = std::max(1, arch_.max_threads_per_sm / std::max(1, kernel.threads_per_block));
+  int by_smem = kernel.smem_per_block > 0
+                    ? static_cast<int>(arch_.smem_per_sm / kernel.smem_per_block)
+                    : arch_.max_blocks_per_sm;
+  int by_regs = kernel.regs_per_block_bytes > 0
+                    ? static_cast<int>(arch_.regfile_per_sm / kernel.regs_per_block_bytes)
+                    : arch_.max_blocks_per_sm;
+  int blocks = std::min(std::min(by_limit, by_threads), std::min(by_smem, by_regs));
+  return std::max(blocks, 0);
+}
+
+std::int64_t CostModel::DramReadBytes(const TensorTraffic& read, std::int64_t grid) const {
+  double total = static_cast<double>(read.per_block_bytes) * static_cast<double>(grid) *
+                 std::max(1.0, read.touches_per_byte);
+  double unique = static_cast<double>(std::min<std::int64_t>(
+      read.unique_bytes, static_cast<std::int64_t>(total) + 1));
+  // Re-reads (multi-pass streams, operands shared across blocks) are served
+  // by L2 while the footprint fits; beyond capacity, reuse degrades
+  // linearly toward full re-fetch.
+  double l2 = static_cast<double>(arch_.l2_bytes) * 0.85;
+  if (unique <= l2) {
+    return static_cast<std::int64_t>(unique);
+  }
+  double spill_fraction = (unique - l2) / unique;
+  double rereads = std::max(0.0, total - unique);
+  return static_cast<std::int64_t>(unique + rereads * spill_fraction);
+}
+
+KernelCost CostModel::EstimateKernel(const KernelSpec& kernel) const {
+  KernelCost cost;
+
+  int bps = BlocksPerSm(kernel);
+  if (bps == 0) {
+    // Kernel cannot launch under this architecture's per-block resources;
+    // callers are expected to have resource-checked. Charge a huge penalty
+    // so tuners never pick it.
+    cost.time_us = 1e12;
+    return cost;
+  }
+  cost.occupancy_blocks_per_sm = bps;
+
+  std::int64_t concurrent = static_cast<std::int64_t>(bps) * arch_.num_sms;
+  std::int64_t waves = CeilDiv(std::max<std::int64_t>(kernel.grid, 1), concurrent);
+  double utilization = static_cast<double>(kernel.grid) / static_cast<double>(waves * concurrent);
+  // Even a perfectly balanced launch cannot keep every SM busy if there are
+  // fewer blocks than SMs.
+  double sm_coverage =
+      std::min(1.0, static_cast<double>(kernel.grid) / static_cast<double>(arch_.num_sms));
+
+  // Compute time.
+  double peak_flops = arch_.fp16_tflops * 1e6;  // flops per microsecond
+  double eff = std::max(0.01, kernel.compute_efficiency * std::max(utilization, sm_coverage * 0.5));
+  cost.compute_us = static_cast<double>(kernel.flops) / (peak_flops * eff);
+
+  // DRAM time. A small grid cannot saturate the memory system: model the
+  // achievable bandwidth as ramping up with SM coverage.
+  std::int64_t dram_bytes = 0;
+  double l2_bytes = 0;
+  for (const TensorTraffic& r : kernel.reads) {
+    dram_bytes += DramReadBytes(r, kernel.grid);
+    l2_bytes += static_cast<double>(r.per_block_bytes) * static_cast<double>(kernel.grid) *
+                std::max(1.0, r.touches_per_byte);
+  }
+  for (const TensorTraffic& w : kernel.writes) {
+    dram_bytes += w.unique_bytes;
+    l2_bytes += static_cast<double>(w.unique_bytes);
+  }
+  cost.dram_bytes = dram_bytes;
+  double bw_frac =
+      std::min(1.0, 0.12 + 0.88 * sm_coverage) * std::max(0.1, kernel.bandwidth_efficiency);
+  double dram_bw = arch_.dram_gbps * 1e3 * bw_frac;  // bytes per microsecond
+  cost.dram_us = static_cast<double>(dram_bytes) / dram_bw;
+
+  double l2_bw = arch_.l2_gbps * 1e3 * bw_frac;
+  cost.l2_us = l2_bytes / l2_bw;
+
+  cost.time_us =
+      arch_.launch_overhead_us + std::max(cost.compute_us, std::max(cost.dram_us, cost.l2_us));
+  return cost;
+}
+
+ExecutionReport CostModel::Estimate(const std::vector<KernelSpec>& kernels) const {
+  ExecutionReport report;
+  for (const KernelSpec& k : kernels) {
+    KernelCost cost = EstimateKernel(k);
+    report.time_us += cost.time_us;
+    report.dram_bytes += cost.dram_bytes;
+    report.flops += k.flops;
+    ++report.kernel_count;
+  }
+  return report;
+}
+
+}  // namespace spacefusion

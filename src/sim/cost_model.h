@@ -1,0 +1,51 @@
+// Analytic GPU performance model.
+//
+// Estimates kernel time as max(compute, DRAM, L2) with occupancy-derived
+// wave scheduling and a launch overhead per kernel. This is the fast model
+// the auto-tuner measures candidate schedules against (substituting for the
+// paper's on-GPU test runs); the trace-driven MemorySim provides the
+// detailed cache statistics for the Fig. 15 analysis.
+#ifndef SPACEFUSION_SRC_SIM_COST_MODEL_H_
+#define SPACEFUSION_SRC_SIM_COST_MODEL_H_
+
+#include <vector>
+
+#include "src/sim/arch.h"
+#include "src/sim/kernel.h"
+
+namespace spacefusion {
+
+struct KernelCost {
+  double time_us = 0.0;
+  double compute_us = 0.0;
+  double dram_us = 0.0;
+  double l2_us = 0.0;
+  std::int64_t dram_bytes = 0;
+  double occupancy_blocks_per_sm = 0.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(GpuArch arch) : arch_(std::move(arch)) {}
+
+  const GpuArch& arch() const { return arch_; }
+
+  // Concurrent thread blocks one SM can host given the kernel's resources.
+  int BlocksPerSm(const KernelSpec& kernel) const;
+
+  // DRAM bytes a read stream costs, accounting for L2-served inter-block
+  // reuse: a shared operand whose footprint fits in L2 is fetched once.
+  std::int64_t DramReadBytes(const TensorTraffic& read, std::int64_t grid) const;
+
+  KernelCost EstimateKernel(const KernelSpec& kernel) const;
+
+  // Sums kernel costs (kernels execute back-to-back on one stream).
+  ExecutionReport Estimate(const std::vector<KernelSpec>& kernels) const;
+
+ private:
+  GpuArch arch_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,47 @@
+#include "src/sim/kernel.h"
+
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+std::int64_t AddressMap::Assign(const std::string& tensor, std::int64_t bytes) {
+  for (const Entry& e : entries_) {
+    if (e.name == tensor) {
+      return e.base;
+    }
+  }
+  Entry e;
+  e.name = tensor;
+  e.base = next_;
+  e.bytes = bytes;
+  entries_.push_back(e);
+  next_ += RoundUp(bytes, 256);
+  return e.base;
+}
+
+ExecutionReport& ExecutionReport::operator+=(const ExecutionReport& other) {
+  time_us += other.time_us;
+  kernel_count += other.kernel_count;
+  flops += other.flops;
+  dram_bytes += other.dram_bytes;
+  l1_accesses += other.l1_accesses;
+  l1_misses += other.l1_misses;
+  l2_accesses += other.l2_accesses;
+  l2_misses += other.l2_misses;
+  return *this;
+}
+
+ExecutionReport ExecutionReport::Scaled(double factor) const {
+  ExecutionReport out = *this;
+  out.time_us *= factor;
+  out.kernel_count = static_cast<int>(out.kernel_count * factor);
+  out.flops = static_cast<std::int64_t>(static_cast<double>(out.flops) * factor);
+  out.dram_bytes = static_cast<std::int64_t>(static_cast<double>(out.dram_bytes) * factor);
+  out.l1_accesses = static_cast<std::int64_t>(static_cast<double>(out.l1_accesses) * factor);
+  out.l1_misses = static_cast<std::int64_t>(static_cast<double>(out.l1_misses) * factor);
+  out.l2_accesses = static_cast<std::int64_t>(static_cast<double>(out.l2_accesses) * factor);
+  out.l2_misses = static_cast<std::int64_t>(static_cast<double>(out.l2_misses) * factor);
+  return out;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,102 @@
+// Kernel launch descriptions — the common currency between SpaceFusion's
+// lowered schedules, the baseline implementations, and the GPU simulator.
+//
+// A KernelSpec captures what the simulator needs: grid geometry, per-block
+// resource usage (occupancy), arithmetic work, and the global-memory traffic
+// pattern of every tensor the kernel touches.
+#ifndef SPACEFUSION_SRC_SIM_KERNEL_H_
+#define SPACEFUSION_SRC_SIM_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spacefusion {
+
+// Global-memory traffic of one tensor within one kernel.
+struct TensorTraffic {
+  std::string tensor;
+
+  // Distinct bytes of the tensor the whole kernel touches.
+  std::int64_t unique_bytes = 0;
+  // Bytes each thread block reads/writes of it.
+  std::int64_t per_block_bytes = 0;
+  // Average logical touches per byte at the L1 level (k-loop reuse etc.).
+  double touches_per_byte = 1.0;
+  // true: blocks read overlapping data (weights, broadcast operands) so
+  // inter-block reuse is served by L2; false: blocks touch disjoint slices.
+  bool shared_across_blocks = false;
+  // Base address in the simulated flat address space (assigned by the
+  // AddressMap so inter-kernel L2 reuse is visible to the trace simulator).
+  std::int64_t base_address = 0;
+};
+
+struct KernelSpec {
+  std::string name;
+  std::int64_t grid = 1;
+  int threads_per_block = 256;
+  std::int64_t smem_per_block = 0;
+  std::int64_t regs_per_block_bytes = 64 * 1024;
+  std::int64_t flops = 0;
+  // Fraction of tensor-core peak the inner tiles can reach (block-shape
+  // dependent: tiny tiles under-utilize the MMA pipeline).
+  double compute_efficiency = 0.8;
+  // Fraction of peak memory bandwidth the implementation achieves
+  // (vectorization, coalescing, tuning quality).
+  double bandwidth_efficiency = 0.85;
+
+  std::vector<TensorTraffic> reads;
+  std::vector<TensorTraffic> writes;
+
+  std::int64_t TotalReadBytes() const {
+    std::int64_t b = 0;
+    for (const TensorTraffic& t : reads) {
+      b += t.per_block_bytes * grid;
+    }
+    return b;
+  }
+  std::int64_t TotalWriteBytes() const {
+    std::int64_t b = 0;
+    for (const TensorTraffic& t : writes) {
+      b += t.unique_bytes;
+    }
+    return b;
+  }
+};
+
+// Assigns stable simulated addresses to named tensors so that consecutive
+// kernels touching the same tensor alias in the simulated caches.
+class AddressMap {
+ public:
+  // Returns the base address of `tensor`, allocating `bytes` on first use.
+  std::int64_t Assign(const std::string& tensor, std::int64_t bytes);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::int64_t base;
+    std::int64_t bytes;
+  };
+  std::vector<Entry> entries_;
+  std::int64_t next_ = 0;
+};
+
+// Aggregate outcome of executing a kernel sequence on the simulator.
+struct ExecutionReport {
+  double time_us = 0.0;
+  int kernel_count = 0;
+  std::int64_t flops = 0;
+  std::int64_t dram_bytes = 0;   // device-memory data movement
+  std::int64_t l1_accesses = 0;
+  std::int64_t l1_misses = 0;
+  std::int64_t l2_accesses = 0;
+  std::int64_t l2_misses = 0;
+
+  ExecutionReport& operator+=(const ExecutionReport& other);
+  // Scales every count and the time by `factor` (repeat-count expansion).
+  ExecutionReport Scaled(double factor) const;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SIM_KERNEL_H_

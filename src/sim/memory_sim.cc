@@ -1,0 +1,116 @@
+#include "src/sim/memory_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/math_util.h"
+
+namespace spacefusion {
+
+MemorySim::MemorySim(GpuArch arch)
+    : arch_(std::move(arch)), l2_(arch_.l2_bytes, arch_.cache_line_bytes, arch_.l2_assoc) {}
+
+ExecutionReport MemorySim::Run(const std::vector<KernelSpec>& kernels) {
+  l2_.Reset();
+  ExecutionReport report;
+  for (const KernelSpec& k : kernels) {
+    RunKernel(k, &report);
+    ++report.kernel_count;
+    report.flops += k.flops;
+  }
+  return report;
+}
+
+void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
+  const int line = arch_.cache_line_bytes;
+
+  // Estimated L1-line accesses for the whole kernel; sample blocks if the
+  // trace would exceed the budget.
+  double projected = 0;
+  for (const TensorTraffic& r : kernel.reads) {
+    projected += static_cast<double>(r.per_block_bytes) * std::max(1.0, r.touches_per_byte) /
+                 line * static_cast<double>(kernel.grid);
+  }
+  std::int64_t stride = 1;
+  if (projected > static_cast<double>(access_budget_)) {
+    stride = static_cast<std::int64_t>(projected / static_cast<double>(access_budget_)) + 1;
+  }
+
+  SetAssociativeCache l1(arch_.l1_per_sm, line, /*associativity=*/4);
+
+  std::int64_t sim_blocks = 0;
+  std::int64_t l1_acc = 0, l1_miss = 0, l2_acc = 0, l2_miss = 0, dram = 0;
+
+  for (std::int64_t b = 0; b < kernel.grid; b += stride) {
+    ++sim_blocks;
+    // Fresh block on (statistically) a fresh SM: private L1 state cleared.
+    l1.Reset();
+    for (const TensorTraffic& r : kernel.reads) {
+      if (r.per_block_bytes <= 0) {
+        continue;
+      }
+      std::int64_t base;
+      if (r.shared_across_blocks || r.unique_bytes <= r.per_block_bytes) {
+        base = r.base_address;
+      } else {
+        base = r.base_address + (b * r.per_block_bytes) % std::max<std::int64_t>(
+                                    1, r.unique_bytes - r.per_block_bytes + 1);
+      }
+      // Whole passes plus one partial pass approximating the average
+      // touches-per-byte of this operand within a block.
+      double touches = std::max(1.0, r.touches_per_byte);
+      int full_passes = static_cast<int>(touches);
+      std::int64_t partial_bytes =
+          static_cast<std::int64_t>((touches - full_passes) * static_cast<double>(r.per_block_bytes));
+      for (int pass = 0; pass <= full_passes; ++pass) {
+        std::int64_t bytes = pass < full_passes ? r.per_block_bytes : partial_bytes;
+        if (bytes <= 0) {
+          continue;
+        }
+        std::int64_t first = base / line;
+        std::int64_t last = (base + bytes - 1) / line;
+        for (std::int64_t ln = first; ln <= last; ++ln) {
+          ++l1_acc;
+          if (!l1.Access(ln * line)) {
+            ++l1_miss;
+            ++l2_acc;
+            if (!l2_.Access(ln * line)) {
+              ++l2_miss;
+              dram += line;
+            }
+          }
+        }
+      }
+    }
+    for (const TensorTraffic& w : kernel.writes) {
+      std::int64_t per_block = w.per_block_bytes > 0
+                                   ? w.per_block_bytes
+                                   : CeilDiv(w.unique_bytes, std::max<std::int64_t>(1, kernel.grid));
+      if (per_block <= 0) {
+        continue;
+      }
+      std::int64_t base = w.base_address + (b * per_block) % std::max<std::int64_t>(1, w.unique_bytes);
+      // Write-through no-allocate at L1; lines are installed in L2 and the
+      // dirty data eventually reaches DRAM.
+      std::int64_t first = base / line;
+      std::int64_t last = (base + per_block - 1) / line;
+      for (std::int64_t ln = first; ln <= last; ++ln) {
+        ++l2_acc;
+        l2_.Access(ln * line);
+        dram += line;
+      }
+    }
+  }
+
+  if (sim_blocks == 0) {
+    return;
+  }
+  double scale = static_cast<double>(kernel.grid) / static_cast<double>(sim_blocks);
+  report->l1_accesses += static_cast<std::int64_t>(static_cast<double>(l1_acc) * scale);
+  report->l1_misses += static_cast<std::int64_t>(static_cast<double>(l1_miss) * scale);
+  report->l2_accesses += static_cast<std::int64_t>(static_cast<double>(l2_acc) * scale);
+  report->l2_misses += static_cast<std::int64_t>(static_cast<double>(l2_miss) * scale);
+  report->dram_bytes += static_cast<std::int64_t>(static_cast<double>(dram) * scale);
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,42 @@
+// Trace-driven memory-hierarchy simulation.
+//
+// Replays the tile-granular access stream of a kernel sequence through
+// per-SM L1 caches and a shared L2, counting hits/misses and device-memory
+// traffic — the measurements behind the paper's Fig. 15 memory & cache
+// analysis. Large kernels are block-sampled and the counts rescaled so that
+// simulation cost stays bounded.
+#ifndef SPACEFUSION_SRC_SIM_MEMORY_SIM_H_
+#define SPACEFUSION_SRC_SIM_MEMORY_SIM_H_
+
+#include <vector>
+
+#include "src/sim/arch.h"
+#include "src/sim/cache.h"
+#include "src/sim/kernel.h"
+
+namespace spacefusion {
+
+class MemorySim {
+ public:
+  explicit MemorySim(GpuArch arch);
+
+  // Replays the kernels back-to-back (caches persist between kernels, so
+  // producer-consumer tensor reuse through L2 is captured). Returns the
+  // cache-level statistics; timing fields are not populated here.
+  ExecutionReport Run(const std::vector<KernelSpec>& kernels);
+
+  // Upper bound on simulated L1-line accesses per kernel before block
+  // sampling kicks in.
+  void set_access_budget(std::int64_t budget) { access_budget_ = budget; }
+
+ private:
+  void RunKernel(const KernelSpec& kernel, ExecutionReport* report);
+
+  GpuArch arch_;
+  SetAssociativeCache l2_;
+  std::int64_t access_budget_ = 4'000'000;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SIM_MEMORY_SIM_H_

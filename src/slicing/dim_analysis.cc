@@ -1,0 +1,86 @@
+#include "src/slicing/dim_analysis.h"
+
+#include <algorithm>
+
+namespace spacefusion {
+
+const char* DimClassName(DimClass c) {
+  switch (c) {
+    case DimClass::kFree:
+      return "free";
+    case DimClass::kInputO2AOnly:
+      return "input-o2a";
+    case DimClass::kOtherO2A:
+      return "other-o2a";
+    case DimClass::kIndependentA2O:
+      return "independent-a2o";
+    case DimClass::kDependentA2O:
+      return "dependent-a2o";
+  }
+  return "?";
+}
+
+DimAnalysis AnalyzeDim(const Smg& smg, DimId d) {
+  DimAnalysis out;
+  out.dim = d;
+
+  bool any_other_o2a = false;
+  bool any_input_o2a = false;
+  for (MappingId mid : smg.MappingsAlongDim(d)) {
+    const Mapping& m = smg.mapping(mid);
+    if (m.kind == MappingKind::kAllToOne) {
+      out.all_to_ones.push_back(mid);
+    } else if (smg.IsInputOneToAll(m)) {
+      any_input_o2a = true;
+    } else {
+      any_other_o2a = true;
+      out.other_one_to_alls.push_back(mid);
+    }
+  }
+
+  if (out.all_to_ones.empty()) {
+    if (any_other_o2a) {
+      out.cls = DimClass::kOtherO2A;
+    } else if (any_input_o2a) {
+      out.cls = DimClass::kInputO2AOnly;
+    } else {
+      out.cls = DimClass::kFree;
+    }
+    return out;
+  }
+
+  // Order All-to-Ones topologically: m1 precedes m2 when m1's sink reaches
+  // m2's iteration space. Dependencies between them decide SA vs UTA.
+  std::sort(out.all_to_ones.begin(), out.all_to_ones.end(), [&](MappingId a, MappingId b) {
+    return smg.mapping(a).op < smg.mapping(b).op;
+  });
+
+  bool dependent = false;
+  for (size_t i = 0; i < out.all_to_ones.size() && !dependent; ++i) {
+    for (size_t j = 0; j < out.all_to_ones.size() && !dependent; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const Mapping& mi = smg.mapping(out.all_to_ones[i]);
+      const Mapping& mj = smg.mapping(out.all_to_ones[j]);
+      // sink data space of one reduction feeding (transitively) the
+      // iteration space of another makes the chain dependent.
+      if (smg.Reaches(mi.dst, mj.src)) {
+        dependent = true;
+      }
+    }
+  }
+  out.cls = dependent ? DimClass::kDependentA2O : DimClass::kIndependentA2O;
+  return out;
+}
+
+std::vector<DimAnalysis> AnalyzeAllDims(const Smg& smg) {
+  std::vector<DimAnalysis> out;
+  out.reserve(static_cast<size_t>(smg.num_dims()));
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    out.push_back(AnalyzeDim(smg, d));
+  }
+  return out;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,50 @@
+// Per-dimension mapping analysis: the decision table the slicers consult
+// (paper Table 3, "Slicer Applications for Mappings in the Dimension").
+#ifndef SPACEFUSION_SRC_SLICING_DIM_ANALYSIS_H_
+#define SPACEFUSION_SRC_SLICING_DIM_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/smg/smg.h"
+
+namespace spacefusion {
+
+// How the directional mappings along one dimension constrain slicing.
+enum class DimClass {
+  kFree,            // no directional mappings: both slicers apply
+  kInputO2AOnly,    // only input One-to-Alls: both slicers apply
+  kOtherO2A,        // non-input One-to-All present, no All-to-One: temporal only
+  kIndependentA2O,  // All-to-One(s) without inter-reduction dependencies:
+                    // temporal via Simple Aggregate
+  kDependentA2O,    // a dependency chain of All-to-Ones: temporal via
+                    // Update-then-Aggregate — needs further analysis (△)
+};
+
+const char* DimClassName(DimClass c);
+
+struct DimAnalysis {
+  DimId dim = kNoDim;
+  DimClass cls = DimClass::kFree;
+  // All-to-One mappings along the dim, in topological (dependency) order.
+  std::vector<MappingId> all_to_ones;
+  // Non-input One-to-Alls along the dim.
+  std::vector<MappingId> other_one_to_alls;
+
+  bool SpatialSliceable() const {
+    return cls == DimClass::kFree || cls == DimClass::kInputO2AOnly;
+  }
+  // Temporal sliceability of dependent chains additionally requires update
+  // functions to exist; that is checked by the temporal slicer itself.
+  bool TemporalCandidate() const { return true; }
+};
+
+// Classifies the mappings along dim `d` of `smg`.
+DimAnalysis AnalyzeDim(const Smg& smg, DimId d);
+
+// Classifies every dim.
+std::vector<DimAnalysis> AnalyzeAllDims(const Smg& smg);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SLICING_DIM_ANALYSIS_H_

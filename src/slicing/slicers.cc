@@ -1,0 +1,62 @@
+#include "src/slicing/slicers.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+std::vector<DimId> SpatialSlicer::GetDims(const Smg& smg) {
+  std::vector<DimId> dims;
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    if (AnalyzeDim(smg, d).SpatialSliceable()) {
+      dims.push_back(d);
+    }
+  }
+  return dims;
+}
+
+std::vector<DimId> TemporalSlicer::CandidateDims(const Smg& smg,
+                                                 const std::vector<DimId>& spatial_dims) {
+  std::vector<DimId> candidates;
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    if (std::find(spatial_dims.begin(), spatial_dims.end(), d) == spatial_dims.end()) {
+      candidates.push_back(d);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&smg](DimId a, DimId b) {
+    std::int64_t va = smg.DataVolumeAlongDim(a);
+    std::int64_t vb = smg.DataVolumeAlongDim(b);
+    if (va != vb) {
+      return va > vb;
+    }
+    return a < b;
+  });
+  return candidates;
+}
+
+StatusOr<TemporalChoice> TemporalSlicer::GetPriorDim(const Graph& graph,
+                                                     const SmgBuildResult& built,
+                                                     const std::vector<DimId>& spatial_dims,
+                                                     bool allow_uta) {
+  for (DimId d : TemporalSlicer::CandidateDims(built.smg, spatial_dims)) {
+    StatusOr<TemporalPlan> plan = DeriveTemporalPlan(graph, built, d);
+    if (plan.ok() && !allow_uta && plan->AnyUpdate()) {
+      SF_LOG(Debug) << "dim " << built.smg.dim(d).name
+                    << " needs update functions; UTA disabled";
+      continue;
+    }
+    if (plan.ok()) {
+      TemporalChoice choice;
+      choice.dim = d;
+      choice.plan = std::move(plan).value();
+      return choice;
+    }
+    SF_LOG(Debug) << "dim " << built.smg.dim(d).name << " not temporally sliceable: "
+                  << plan.status().ToString();
+  }
+  return Status(StatusCode::kNotFound, StrCat("no temporally sliceable dim in ", graph.name()));
+}
+
+}  // namespace spacefusion

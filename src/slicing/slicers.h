@@ -1,0 +1,55 @@
+// Spatial and temporal slicers (paper Sec. 4.2 / 4.3).
+//
+// The spatial slicer picks dimensions along which an SMG decomposes into
+// independent, parallel SMG blocks (one per GPU thread block): a dim
+// qualifies iff every directional mapping along it is an *input* One-to-All
+// (slicing those never creates inter-block flow dependencies).
+//
+// The temporal slicer serializes one remaining dimension into sequentially
+// executed intra-blocks to shrink the on-chip footprint, aggregating sliced
+// All-to-Ones with Simple Aggregate or Update-then-Aggregate.
+#ifndef SPACEFUSION_SRC_SLICING_SLICERS_H_
+#define SPACEFUSION_SRC_SLICING_SLICERS_H_
+
+#include <vector>
+
+#include "src/slicing/dim_analysis.h"
+#include "src/slicing/update_functions.h"
+
+namespace spacefusion {
+
+class SpatialSlicer {
+ public:
+  // All spatially sliceable dims of the SMG (Table 3 rows marked ⃝ for the
+  // spatial slicer). Empty => the fused space cannot be parallelized.
+  static std::vector<DimId> GetDims(const Smg& smg);
+};
+
+// A successful temporal-slicing decision.
+struct TemporalChoice {
+  DimId dim = kNoDim;
+  TemporalPlan plan;
+};
+
+class TemporalSlicer {
+ public:
+  // Dims not already spatially sliced, ordered by slicing priority: a dim
+  // with a larger volume of data spaces along it frees more on-chip memory
+  // when sliced (Sec. 5.1).
+  static std::vector<DimId> CandidateDims(const Smg& smg, const std::vector<DimId>& spatial_dims);
+
+  // Picks the highest-priority candidate whose dependency pattern can be
+  // sliced (deriving update functions where the All-to-Ones are dependent).
+  // Returns kNotFound when no dim is temporally sliceable.
+  //
+  // `allow_uta=false` models tile-stitching compilers (Welder/NNFusion) that
+  // cannot transform dependencies: dims whose plan needs update functions
+  // are rejected, only Simple Aggregate survives.
+  static StatusOr<TemporalChoice> GetPriorDim(const Graph& graph, const SmgBuildResult& built,
+                                              const std::vector<DimId>& spatial_dims,
+                                              bool allow_uta = true);
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SLICING_SLICERS_H_

@@ -1,0 +1,87 @@
+// Update-function generation for Update-then-Aggregate (paper Sec. 4.3).
+//
+// When a temporal slicer cuts a *dependency chain* of All-to-Ones (e.g.
+// softmax-in-attention: max <- sum <- dot), later reductions must be
+// recursively *updated* when earlier running reductions change. The paper
+// derives the update functions by Broadcast Postposition: broadcasts of
+// earlier reduction results are pushed past subsequent operators using
+// algebraic rules until they become multiplicative scalar factors outside
+// the later reduction; back-tracing the resulting update paths yields the
+// update functions (Fig. 8).
+//
+// We implement postposition as a forward dataflow analysis over the operator
+// graph: starting from each earlier reduction result r, track how r's
+// influence propagates — as an additive shift (x - r), as a multiplicative
+// factor (exp(-r), r, 1/r with integer powers), or not at all — through
+// element-wise ops, divisions, and linear reductions. A later reduction
+// whose input carries a pure multiplicative factor g(r) gets the update
+// multiplier g(r_new) / g(r_old); any non-postposable pattern makes the
+// chain non-sliceable (the △ entries of Table 3).
+#ifndef SPACEFUSION_SRC_SLICING_UPDATE_FUNCTIONS_H_
+#define SPACEFUSION_SRC_SLICING_UPDATE_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/smg/smg_builder.h"
+#include "src/support/status.h"
+
+namespace spacefusion {
+
+// Primitive factor shapes that survive postposition.
+enum class FactorPrim {
+  kExpNeg,  // g(r) = exp(-r)   (from the exp(x - r) pattern)
+  kIdent,   // g(r) = r         (from multiplication; power -1 for division)
+};
+
+// One multiplicative primitive g(r)^power contributed by source reduction
+// `source` (an op id of a reduce/matmul along the temporal dim).
+struct UpdateFactor {
+  FactorPrim prim = FactorPrim::kIdent;
+  OpId source = -1;
+  int power = 1;
+
+  // The update multiplier applied to an old value when `source`'s running
+  // reduction moves from `old_v` to `new_v`:
+  //   kExpNeg: exp(power * (old_v - new_v))
+  //   kIdent : (new_v / old_v)^power
+  float Multiplier(float old_v, float new_v) const;
+
+  std::string ToString(const Graph& graph) const;
+};
+
+// How one reduction along the temporal dim is carried across intra-blocks.
+struct ReductionAggregation {
+  OpId op = -1;                       // the reduce / matmul op
+  ReduceOpKind combiner = ReduceOpKind::kSum;  // max or sum family
+  // Update factors applied to the old running value before combining
+  // (empty => Simple Aggregate).
+  std::vector<UpdateFactor> update;
+  // Mean reductions aggregate partial sums and divide by the full extent
+  // when the temporal loop finishes.
+  bool finalize_divide_by_extent = false;
+
+  bool NeedsUpdate() const { return !update.empty(); }
+};
+
+// The full temporal-slicing plan for one dimension.
+struct TemporalPlan {
+  DimId dim = kNoDim;
+  // In topological order of the owning ops.
+  std::vector<ReductionAggregation> aggregations;
+  bool AnyUpdate() const;
+
+  std::string ToString(const Graph& graph) const;
+};
+
+// Derives the aggregation plan for slicing `dim`. Fails with kUnsupported
+// when a dependent All-to-One chain has no algebraic update functions
+// (Broadcast Postposition dead-ends), in which case the dim must not be
+// temporally sliced.
+StatusOr<TemporalPlan> DeriveTemporalPlan(const Graph& graph, const SmgBuildResult& built,
+                                          DimId dim);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SLICING_UPDATE_FUNCTIONS_H_

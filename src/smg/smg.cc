@@ -1,0 +1,152 @@
+#include "src/smg/smg.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace spacefusion {
+
+const char* MappingKindName(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kOneToOne:
+      return "O2O";
+    case MappingKind::kOneToAll:
+      return "O2A";
+    case MappingKind::kAllToOne:
+      return "A2O";
+  }
+  return "?";
+}
+
+bool Space::HasDim(DimId d) const {
+  return std::find(dims.begin(), dims.end(), d) != dims.end();
+}
+
+DimId Smg::AddDim(std::string name, std::int64_t extent) {
+  FusedDim d;
+  d.id = static_cast<DimId>(dims_.size());
+  d.name = std::move(name);
+  d.extent = extent;
+  dims_.push_back(std::move(d));
+  return dims_.back().id;
+}
+
+SpaceId Smg::AddSpace(Space space) {
+  space.id = static_cast<SpaceId>(spaces_.size());
+  std::sort(space.dims.begin(), space.dims.end());
+  spaces_.push_back(std::move(space));
+  outgoing_.emplace_back();
+  incoming_.emplace_back();
+  return spaces_.back().id;
+}
+
+MappingId Smg::AddMapping(Mapping mapping) {
+  mapping.id = static_cast<MappingId>(mappings_.size());
+  SF_CHECK_GE(mapping.src, 0);
+  SF_CHECK_GE(mapping.dst, 0);
+  if (mapping.kind != MappingKind::kOneToOne) {
+    SF_CHECK_NE(mapping.dim, kNoDim) << "directional mapping needs a direction dim";
+  }
+  outgoing_[static_cast<size_t>(mapping.src)].push_back(mapping.id);
+  incoming_[static_cast<size_t>(mapping.dst)].push_back(mapping.id);
+  mappings_.push_back(mapping);
+  return mappings_.back().id;
+}
+
+std::vector<MappingId> Smg::MappingsAlongDim(DimId d) const {
+  std::vector<MappingId> out;
+  for (const Mapping& m : mappings_) {
+    if (m.kind != MappingKind::kOneToOne && m.dim == d) {
+      out.push_back(m.id);
+    }
+  }
+  return out;
+}
+
+std::vector<MappingId> Smg::AllToOnesAlongDim(DimId d) const {
+  std::vector<MappingId> out;
+  for (const Mapping& m : mappings_) {
+    if (m.kind == MappingKind::kAllToOne && m.dim == d) {
+      out.push_back(m.id);
+    }
+  }
+  return out;
+}
+
+bool Smg::IsInputOneToAll(const Mapping& m) const {
+  return m.kind == MappingKind::kOneToAll && space(m.src).IsGraphBoundaryInput();
+}
+
+bool Smg::Reaches(SpaceId from, SpaceId to) const {
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> seen(spaces_.size(), false);
+  std::deque<SpaceId> queue{from};
+  seen[static_cast<size_t>(from)] = true;
+  while (!queue.empty()) {
+    SpaceId cur = queue.front();
+    queue.pop_front();
+    for (MappingId mid : outgoing_[static_cast<size_t>(cur)]) {
+      SpaceId next = mapping(mid).dst;
+      if (next == to) {
+        return true;
+      }
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::int64_t Smg::SpaceVolume(SpaceId s) const {
+  std::int64_t v = 1;
+  for (DimId d : space(s).dims) {
+    v *= dim(d).extent;
+  }
+  return v;
+}
+
+std::int64_t Smg::DataVolumeAlongDim(DimId d) const {
+  std::int64_t v = 0;
+  for (const Space& s : spaces_) {
+    if (s.kind == SpaceKind::kData && s.HasDim(d)) {
+      v += SpaceVolume(s.id);
+    }
+  }
+  return v;
+}
+
+std::string Smg::ToString() const {
+  std::ostringstream out;
+  out << "smg " << name_ << " dims{";
+  for (const FusedDim& d : dims_) {
+    out << " " << d.name << "=" << d.extent;
+  }
+  out << " }\n";
+  for (const Space& s : spaces_) {
+    out << "  " << (s.kind == SpaceKind::kData ? "data" : "iter") << " #" << s.id << " " << s.name
+        << " (";
+    for (size_t i = 0; i < s.dims.size(); ++i) {
+      out << (i > 0 ? "," : "") << dim(s.dims[i]).name;
+    }
+    out << ")\n";
+  }
+  for (const Mapping& m : mappings_) {
+    out << "  " << space(m.src).name << " -" << MappingKindName(m.kind);
+    if (m.dim != kNoDim) {
+      out << "(" << dim(m.dim).name << ")";
+    }
+    if (m.kind == MappingKind::kAllToOne) {
+      out << "[" << ReduceOpKindName(m.reduce) << "]";
+    }
+    out << "-> " << space(m.dst).name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,144 @@
+// The Space-Mapping Graph (SMG) — the paper's central abstraction (Sec. 4.1).
+//
+// An SMG models a fused multi-operator computation as a set of geometric
+// *computational spaces* living in one shared N-dimensional fused space:
+//   * data spaces abstract tensors (inputs, weights, intermediates, outputs);
+//   * iteration spaces abstract the nested-loop structure of each operator.
+// Spaces are connected by *space mappings*:
+//   * One-to-One  — element-wise correspondence (also inter-operator edges);
+//   * One-to-All  — a source element is reused along a direction dim
+//                   (operand reuse in GEMM, broadcast of reduced stats);
+//   * All-to-One  — a whole extent collapses along a direction dim
+//                   (reductions: max / sum / mean / dot).
+// Each directional mapping carries the global dimension it points along,
+// which is what the slicers reason about (Table 3).
+#ifndef SPACEFUSION_SRC_SMG_SMG_H_
+#define SPACEFUSION_SRC_SMG_SMG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/op.h"
+#include "src/tensor/dtype.h"
+
+namespace spacefusion {
+
+using DimId = std::int32_t;
+using SpaceId = std::int32_t;
+using MappingId = std::int32_t;
+inline constexpr DimId kNoDim = -1;
+
+// One axis of the fused computational space.
+struct FusedDim {
+  DimId id = kNoDim;
+  std::string name;
+  std::int64_t extent = 1;
+};
+
+enum class SpaceKind { kData, kIteration };
+
+// Where a data space physically lives before scheduling decisions.
+enum class DataRole { kInput, kWeight, kConstant, kIntermediate, kOutput, kNone };
+
+struct Space {
+  SpaceId id = -1;
+  std::string name;
+  SpaceKind kind = SpaceKind::kData;
+  DataRole role = DataRole::kNone;
+  // Global dims this space extends along (sorted ascending, no duplicates).
+  std::vector<DimId> dims;
+  // Back-links into the operator graph.
+  TensorId tensor = kInvalidTensor;  // data spaces
+  OpId op = -1;                      // iteration spaces
+  std::int64_t elem_bytes = 2;
+
+  bool HasDim(DimId d) const;
+  bool IsGraphBoundaryInput() const {
+    return kind == SpaceKind::kData &&
+           (role == DataRole::kInput || role == DataRole::kWeight || role == DataRole::kConstant);
+  }
+};
+
+enum class MappingKind { kOneToOne, kOneToAll, kAllToOne };
+
+const char* MappingKindName(MappingKind kind);
+
+struct Mapping {
+  MappingId id = -1;
+  SpaceId src = -1;
+  SpaceId dst = -1;
+  MappingKind kind = MappingKind::kOneToOne;
+  // Direction dim for One-to-All / All-to-One; kNoDim for One-to-One.
+  DimId dim = kNoDim;
+  // Reduction semantics of an All-to-One.
+  ReduceOpKind reduce = ReduceOpKind::kSum;
+  // Operator that induced this mapping (for diagnostics and lowering).
+  OpId op = -1;
+};
+
+class Smg {
+ public:
+  explicit Smg(std::string name = "smg") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  DimId AddDim(std::string name, std::int64_t extent);
+  SpaceId AddSpace(Space space);
+  MappingId AddMapping(Mapping mapping);
+
+  const std::vector<FusedDim>& dims() const { return dims_; }
+  const std::vector<Space>& spaces() const { return spaces_; }
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+  const FusedDim& dim(DimId id) const { return dims_[static_cast<size_t>(id)]; }
+  const Space& space(SpaceId id) const { return spaces_[static_cast<size_t>(id)]; }
+  Space& space(SpaceId id) { return spaces_[static_cast<size_t>(id)]; }
+  const Mapping& mapping(MappingId id) const { return mappings_[static_cast<size_t>(id)]; }
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+
+  // All directional (O2A / A2O) mappings whose direction is `d`.
+  std::vector<MappingId> MappingsAlongDim(DimId d) const;
+  // Only the All-to-One subset.
+  std::vector<MappingId> AllToOnesAlongDim(DimId d) const;
+
+  // True if `m` is an "input One-to-All": its source space is a kernel input
+  // resident in global memory, so slicing it creates no inter-block flow
+  // dependency (Sec. 4.2).
+  bool IsInputOneToAll(const Mapping& m) const;
+
+  // Outgoing / incoming mapping ids per space.
+  const std::vector<MappingId>& outgoing(SpaceId s) const {
+    return outgoing_[static_cast<size_t>(s)];
+  }
+  const std::vector<MappingId>& incoming(SpaceId s) const {
+    return incoming_[static_cast<size_t>(s)];
+  }
+
+  // True if any directed mapping path leads from `from` to `to`.
+  bool Reaches(SpaceId from, SpaceId to) const;
+
+  // Element count of a space (product of its dims' extents).
+  std::int64_t SpaceVolume(SpaceId s) const;
+
+  // Sum of data-space volumes (elements) that extend along `d`; the temporal
+  // slicer prefers the dim with the largest value (Sec. 5.1: greater on-chip
+  // allocation for dependencies along that dim).
+  std::int64_t DataVolumeAlongDim(DimId d) const;
+
+  // Human-readable dump (spaces, dims, mappings with directions).
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<FusedDim> dims_;
+  std::vector<Space> spaces_;
+  std::vector<Mapping> mappings_;
+  std::vector<std::vector<MappingId>> outgoing_;
+  std::vector<std::vector<MappingId>> incoming_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SMG_SMG_H_

@@ -1,0 +1,327 @@
+#include "src/smg/smg_builder.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+constexpr int kMaxRank = 8;
+
+// Union-find over (tensor, axis) keys.
+class AxisUnion {
+ public:
+  explicit AxisUnion(int num_tensors) : parent_(static_cast<size_t>(num_tensors) * kMaxRank) {
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      parent_[i] = static_cast<int>(i);
+    }
+  }
+
+  static int Key(TensorId t, int axis) { return t * kMaxRank + axis; }
+
+  int Find(int key) {
+    while (parent_[static_cast<size_t>(key)] != key) {
+      parent_[static_cast<size_t>(key)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(key)])];
+      key = parent_[static_cast<size_t>(key)];
+    }
+    return key;
+  }
+
+  void Join(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra != rb) {
+      parent_[static_cast<size_t>(rb)] = ra;
+    }
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct MatMulAxes {
+  int m_a;      // M axis in operand A
+  int k_a;      // K axis in operand A
+  int k_b;      // K axis in operand B
+  int n_b;      // N axis in operand B
+};
+
+MatMulAxes ResolveMatMulAxes(const Op& op, const Shape& a, const Shape& b) {
+  MatMulAxes axes;
+  axes.m_a = op.attrs.transpose_a ? a.rank() - 1 : a.rank() - 2;
+  axes.k_a = op.attrs.transpose_a ? a.rank() - 2 : a.rank() - 1;
+  axes.k_b = op.attrs.transpose_b ? b.rank() - 1 : b.rank() - 2;
+  axes.n_b = op.attrs.transpose_b ? b.rank() - 2 : b.rank() - 1;
+  return axes;
+}
+
+}  // namespace
+
+int SmgBuildResult::AxisOfDim(TensorId tensor, DimId dim) const {
+  const std::vector<DimId>& axes = tensor_axis_dims[static_cast<size_t>(tensor)];
+  for (size_t i = 0; i < axes.size(); ++i) {
+    if (axes[i] == dim) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+StatusOr<SmgBuildResult> BuildSmg(const Graph& graph) {
+  const int num_tensors = static_cast<int>(graph.tensors().size());
+  for (const TensorInfo& t : graph.tensors()) {
+    if (t.shape.rank() > kMaxRank) {
+      return Unsupported(StrCat("tensor ", t.name, " rank exceeds ", kMaxRank));
+    }
+  }
+
+  AxisUnion dsu(num_tensors);
+  auto join_axes = [&](TensorId ta, int ax_a, TensorId tb, int ax_b) {
+    dsu.Join(AxisUnion::Key(ta, ax_a), AxisUnion::Key(tb, ax_b));
+  };
+
+  // Phase 1: dimension alignment. Join axes that iterate together.
+  for (const Op& op : graph.ops()) {
+    const Shape& out = graph.tensor(op.output).shape;
+    switch (op.kind) {
+      case OpKind::kMatMul: {
+        const Shape& a = graph.tensor(op.inputs[0]).shape;
+        const Shape& b = graph.tensor(op.inputs[1]).shape;
+        MatMulAxes axes = ResolveMatMulAxes(op, a, b);
+        join_axes(op.output, out.rank() - 2, op.inputs[0], axes.m_a);
+        join_axes(op.output, out.rank() - 1, op.inputs[1], axes.n_b);
+        join_axes(op.inputs[0], axes.k_a, op.inputs[1], axes.k_b);
+        // Batch dims: right-aligned against the leading out dims.
+        for (int i = 0; i < out.rank() - 2; ++i) {
+          int ax_in_a = i - ((out.rank() - 2) - (a.rank() - 2));
+          if (ax_in_a >= 0 && a.dim(ax_in_a) == out.dim(i) && out.dim(i) > 1) {
+            join_axes(op.output, i, op.inputs[0], ax_in_a);
+          }
+          int ax_in_b = i - ((out.rank() - 2) - (b.rank() - 2));
+          if (ax_in_b >= 0 && b.dim(ax_in_b) == out.dim(i) && out.dim(i) > 1) {
+            join_axes(op.output, i, op.inputs[1], ax_in_b);
+          }
+        }
+        break;
+      }
+      case OpKind::kUnary: {
+        const Shape& in = graph.tensor(op.inputs[0]).shape;
+        for (int i = 0; i < out.rank(); ++i) {
+          if (out.dim(i) > 1) {
+            join_axes(op.output, i, op.inputs[0], i + (in.rank() - out.rank()));
+          }
+        }
+        break;
+      }
+      case OpKind::kBinary: {
+        for (TensorId in_id : op.inputs) {
+          const Shape& in = graph.tensor(in_id).shape;
+          for (int i = 0; i < out.rank(); ++i) {
+            int src_axis = i - (out.rank() - in.rank());
+            if (src_axis >= 0 && in.dim(src_axis) == out.dim(i) && out.dim(i) > 1) {
+              join_axes(op.output, i, in_id, src_axis);
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kReduce: {
+        const Shape& in = graph.tensor(op.inputs[0]).shape;
+        for (int i = 0; i < out.rank() - 1; ++i) {
+          if (out.dim(i) > 1) {
+            join_axes(op.output, i, op.inputs[0], i);
+          }
+        }
+        (void)in;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: allocate one global dim per axis equivalence class in use.
+  SmgBuildResult result;
+  result.smg = Smg(graph.name());
+  Smg& smg = result.smg;
+
+  std::map<int, DimId> root_to_dim;
+  auto dim_of_axis = [&](TensorId t, int axis) -> StatusOr<DimId> {
+    std::int64_t extent = graph.tensor(t).shape.dim(axis);
+    SF_CHECK_GT(extent, 1);
+    int root = dsu.Find(AxisUnion::Key(t, axis));
+    auto it = root_to_dim.find(root);
+    if (it != root_to_dim.end()) {
+      if (smg.dim(it->second).extent != extent) {
+        return Internal(StrCat("dimension alignment extent mismatch in ", graph.name(), ": ",
+                               smg.dim(it->second).extent, " vs ", extent, " for tensor ",
+                               graph.tensor(t).name, " axis ", axis));
+      }
+      return it->second;
+    }
+    DimId d = smg.AddDim(StrCat("d", root_to_dim.size()), extent);
+    root_to_dim.emplace(root, d);
+    return d;
+  };
+
+  // Collects the global dims of all extent>1 axes of a tensor.
+  auto tensor_dims = [&](TensorId t) -> StatusOr<std::vector<DimId>> {
+    std::set<DimId> dims;
+    const Shape& shape = graph.tensor(t).shape;
+    for (int i = 0; i < shape.rank(); ++i) {
+      if (shape.dim(i) > 1) {
+        SF_ASSIGN_OR_RETURN(DimId d, dim_of_axis(t, i));
+        dims.insert(d);
+      }
+    }
+    return std::vector<DimId>(dims.begin(), dims.end());
+  };
+
+  // Phase 3: data spaces (one per tensor, shared between producer and
+  // consumers — this *is* the fused intermediate data space of Fig. 4).
+  result.tensor_space.assign(static_cast<size_t>(num_tensors), -1);
+  result.tensor_axis_dims.resize(static_cast<size_t>(num_tensors));
+  for (const TensorInfo& t : graph.tensors()) {
+    std::vector<DimId>& axes = result.tensor_axis_dims[static_cast<size_t>(t.id)];
+    axes.assign(static_cast<size_t>(t.shape.rank()), kNoDim);
+    for (int i = 0; i < t.shape.rank(); ++i) {
+      if (t.shape.dim(i) > 1) {
+        SF_ASSIGN_OR_RETURN(axes[static_cast<size_t>(i)], dim_of_axis(t.id, i));
+      }
+    }
+  }
+  for (const TensorInfo& t : graph.tensors()) {
+    Space s;
+    s.name = t.name;
+    s.kind = SpaceKind::kData;
+    switch (t.kind) {
+      case TensorKind::kInput:
+        s.role = DataRole::kInput;
+        break;
+      case TensorKind::kWeight:
+        s.role = DataRole::kWeight;
+        break;
+      case TensorKind::kConstant:
+        s.role = DataRole::kConstant;
+        break;
+      case TensorKind::kIntermediate:
+        s.role = DataRole::kIntermediate;
+        break;
+      case TensorKind::kOutput:
+        s.role = DataRole::kOutput;
+        break;
+    }
+    SF_ASSIGN_OR_RETURN(s.dims, tensor_dims(t.id));
+    s.tensor = t.id;
+    s.elem_bytes = DTypeSize(t.dtype);
+    result.tensor_space[static_cast<size_t>(t.id)] = smg.AddSpace(std::move(s));
+  }
+
+  // Phase 4: iteration spaces and mappings.
+  result.op_space.assign(graph.ops().size(), -1);
+  for (const Op& op : graph.ops()) {
+    const Shape& out = graph.tensor(op.output).shape;
+
+    // Iteration-space dims: the output dims plus the contracted dim.
+    std::set<DimId> iter_dims;
+    SF_ASSIGN_OR_RETURN(std::vector<DimId> out_dims, tensor_dims(op.output));
+    iter_dims.insert(out_dims.begin(), out_dims.end());
+
+    DimId contract_dim = kNoDim;
+    if (op.kind == OpKind::kMatMul) {
+      const Shape& a = graph.tensor(op.inputs[0]).shape;
+      const Shape& b = graph.tensor(op.inputs[1]).shape;
+      MatMulAxes axes = ResolveMatMulAxes(op, a, b);
+      if (a.dim(axes.m_a) > 1) {
+        SF_ASSIGN_OR_RETURN(DimId unused_m, dim_of_axis(op.inputs[0], axes.m_a));
+        (void)unused_m;
+      }
+      if (a.dim(axes.k_a) > 1) {
+        SF_ASSIGN_OR_RETURN(contract_dim, dim_of_axis(op.inputs[0], axes.k_a));
+        iter_dims.insert(contract_dim);
+      }
+    } else if (op.kind == OpKind::kReduce) {
+      const Shape& in = graph.tensor(op.inputs[0]).shape;
+      if (in.dim(in.rank() - 1) > 1) {
+        SF_ASSIGN_OR_RETURN(contract_dim, dim_of_axis(op.inputs[0], in.rank() - 1));
+        iter_dims.insert(contract_dim);
+      }
+    }
+
+    Space iter;
+    iter.name = op.name;
+    iter.kind = SpaceKind::kIteration;
+    iter.dims.assign(iter_dims.begin(), iter_dims.end());
+    iter.op = op.id;
+    iter.elem_bytes = DTypeSize(graph.tensor(op.output).dtype);
+    SpaceId iter_id = smg.AddSpace(std::move(iter));
+    result.op_space[static_cast<size_t>(op.id)] = iter_id;
+
+    // Input mappings: One-to-One when the input covers all iteration dims,
+    // otherwise one One-to-All per missing dim (the reuse direction).
+    for (TensorId in_id : op.inputs) {
+      SpaceId in_space = result.tensor_space[static_cast<size_t>(in_id)];
+      std::vector<DimId> missing;
+      for (DimId d : iter_dims) {
+        if (!smg.space(in_space).HasDim(d)) {
+          missing.push_back(d);
+        }
+      }
+      if (missing.empty()) {
+        Mapping m;
+        m.src = in_space;
+        m.dst = iter_id;
+        m.kind = MappingKind::kOneToOne;
+        m.op = op.id;
+        smg.AddMapping(m);
+      } else {
+        for (DimId d : missing) {
+          Mapping m;
+          m.src = in_space;
+          m.dst = iter_id;
+          m.kind = MappingKind::kOneToAll;
+          m.dim = d;
+          m.op = op.id;
+          smg.AddMapping(m);
+        }
+      }
+    }
+
+    // Output mapping: All-to-One for contractions, One-to-One otherwise.
+    SpaceId out_space = result.tensor_space[static_cast<size_t>(op.output)];
+    Mapping mo;
+    mo.src = iter_id;
+    mo.dst = out_space;
+    mo.op = op.id;
+    if (contract_dim != kNoDim) {
+      mo.kind = MappingKind::kAllToOne;
+      mo.dim = contract_dim;
+      if (op.kind == OpKind::kMatMul) {
+        mo.reduce = ReduceOpKind::kDot;
+      } else {
+        switch (op.attrs.reduce) {
+          case ReduceKind::kMax:
+            mo.reduce = ReduceOpKind::kMax;
+            break;
+          case ReduceKind::kSum:
+            mo.reduce = ReduceOpKind::kSum;
+            break;
+          case ReduceKind::kMean:
+            mo.reduce = ReduceOpKind::kMean;
+            break;
+        }
+      }
+    } else {
+      mo.kind = MappingKind::kOneToOne;
+    }
+    smg.AddMapping(mo);
+    (void)out;
+  }
+
+  return result;
+}
+
+}  // namespace spacefusion

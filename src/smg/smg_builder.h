@@ -1,0 +1,39 @@
+// Builds a fused SMG from an operator graph (paper Sec. 4.1, Fig. 3–5).
+//
+// Dimension alignment: every (tensor, axis) pair with extent > 1 is a node in
+// a union-find structure; operator semantics join axes that iterate together
+// (matmul M/N/K correspondence, element-wise axis identity, broadcast
+// right-alignment). Each resulting equivalence class becomes one global
+// dimension of the fused computational space — this is the "connecting SMGs
+// with intermediate data space dimension alignment" step of Fig. 4.
+#ifndef SPACEFUSION_SRC_SMG_SMG_BUILDER_H_
+#define SPACEFUSION_SRC_SMG_SMG_BUILDER_H_
+
+#include "src/graph/graph.h"
+#include "src/smg/smg.h"
+#include "src/support/status.h"
+
+namespace spacefusion {
+
+// Result of SMG construction: the graph plus per-tensor / per-op space ids so
+// later stages (slicing, lowering, execution) can navigate both directions.
+struct SmgBuildResult {
+  Smg smg;
+  std::vector<SpaceId> tensor_space;  // indexed by TensorId
+  std::vector<SpaceId> op_space;      // indexed by OpId (iteration spaces)
+  // Per tensor, per axis: the global dim that axis aligns to (kNoDim for
+  // extent-1 placeholder axes). Used by the schedule executor to slice
+  // tensors along the temporal dim.
+  std::vector<std::vector<DimId>> tensor_axis_dims;
+
+  // The axis of `tensor` aligned to global dim `dim`, or -1.
+  int AxisOfDim(TensorId tensor, DimId dim) const;
+};
+
+// Builds the fused SMG for an entire subprogram. Fails with kUnsupported if
+// an operator's axes cannot be aligned consistently.
+StatusOr<SmgBuildResult> BuildSmg(const Graph& graph);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SMG_SMG_BUILDER_H_

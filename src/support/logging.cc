@@ -1,0 +1,50 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+
+namespace spacefusion {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(static_cast<int>(level)); }
+
+LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (level_ == LogLevel::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,67 @@
+// Minimal logging and assertion macros.
+//
+// SF_LOG(level) streams to stderr with a severity tag; SF_CHECK aborts on
+// violated invariants. Verbosity is controlled at runtime via
+// SetLogThreshold (default: kInfo) so benches can silence compiler chatter.
+#ifndef SPACEFUSION_SRC_SUPPORT_LOGGING_H_
+#define SPACEFUSION_SRC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spacefusion {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Sets the minimum level that is emitted. Messages below it are dropped.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards a streamed message; used to give the conditional log macro a
+// lower-precedence anchor than operator<< (glog's "voidify" idiom).
+class LogVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace spacefusion
+
+#define SF_LOG(level)                                                             \
+  (static_cast<int>(::spacefusion::LogLevel::k##level) <                          \
+   static_cast<int>(::spacefusion::GetLogThreshold()))                            \
+      ? (void)0                                                                   \
+      : ::spacefusion::LogVoidify() &                                             \
+            ::spacefusion::LogMessage(::spacefusion::LogLevel::k##level,          \
+                                      __FILE__, __LINE__)                         \
+                .stream()
+
+#define SF_CHECK(cond)                                                            \
+  (cond) ? (void)0                                                                \
+         : ::spacefusion::LogVoidify() &                                          \
+               ::spacefusion::LogMessage(::spacefusion::LogLevel::kFatal,         \
+                                         __FILE__, __LINE__)                      \
+                       .stream()                                                  \
+                   << "Check failed: " #cond " "
+
+#define SF_CHECK_EQ(a, b) SF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SF_CHECK_NE(a, b) SF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SF_CHECK_LT(a, b) SF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SF_CHECK_LE(a, b) SF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SF_CHECK_GT(a, b) SF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SF_CHECK_GE(a, b) SF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SPACEFUSION_SRC_SUPPORT_LOGGING_H_

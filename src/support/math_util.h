@@ -1,0 +1,47 @@
+// Small integer helpers shared across the scheduler and the simulator.
+#ifndef SPACEFUSION_SRC_SUPPORT_MATH_UTIL_H_
+#define SPACEFUSION_SRC_SUPPORT_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace spacefusion {
+
+// Integer ceiling division: CeilDiv(7, 2) == 4. Requires b > 0.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Rounds a up to the next multiple of b. Requires b > 0.
+constexpr std::int64_t RoundUp(std::int64_t a, std::int64_t b) { return CeilDiv(a, b) * b; }
+
+constexpr bool IsPowerOfTwo(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Smallest power of two >= x (x >= 1).
+constexpr std::int64_t NextPowerOfTwo(std::int64_t x) {
+  std::int64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Largest power of two <= x (x >= 1).
+constexpr std::int64_t PrevPowerOfTwo(std::int64_t x) {
+  std::int64_t p = 1;
+  while ((p << 1) <= x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// floor(log2(x)) for x >= 1.
+constexpr int Log2Floor(std::int64_t x) {
+  int n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SUPPORT_MATH_UTIL_H_

@@ -1,0 +1,42 @@
+// String formatting helpers used for diagnostics and bench output.
+#ifndef SPACEFUSION_SRC_SUPPORT_STRING_UTIL_H_
+#define SPACEFUSION_SRC_SUPPORT_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spacefusion {
+
+// Concatenates any streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+// Joins container elements with a separator; each element must be streamable.
+template <typename Container>
+std::string StrJoin(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) {
+      out << sep;
+    }
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+// Splits a string on a single-character delimiter; empty pieces are kept.
+std::vector<std::string> StrSplit(const std::string& text, char delim);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,40 @@
+// Element types. All host computation is done in float (F32 accumulate), but
+// the declared dtype drives byte accounting in the memory/cache simulator —
+// the paper evaluates everything in FP16.
+#ifndef SPACEFUSION_SRC_TENSOR_DTYPE_H_
+#define SPACEFUSION_SRC_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spacefusion {
+
+enum class DType { kF16, kF32, kI32 };
+
+inline std::int64_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kF16:
+      return 2;
+    case DType::kF32:
+      return 4;
+    case DType::kI32:
+      return 4;
+  }
+  return 4;
+}
+
+inline const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF16:
+      return "f16";
+    case DType::kF32:
+      return "f32";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_TENSOR_DTYPE_H_

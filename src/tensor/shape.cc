@@ -1,0 +1,39 @@
+#include "src/tensor/shape.h"
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+std::int64_t Shape::volume() const {
+  std::int64_t v = 1;
+  for (std::int64_t d : dims_) {
+    v *= d;
+  }
+  return v;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = s[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+  }
+  return s;
+}
+
+std::int64_t Shape::FlatIndex(const std::vector<std::int64_t>& index) const {
+  SF_CHECK_EQ(static_cast<int>(index.size()), rank());
+  std::int64_t flat = 0;
+  std::int64_t stride = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    SF_CHECK_GE(index[static_cast<size_t>(i)], 0);
+    SF_CHECK_LT(index[static_cast<size_t>(i)], dims_[static_cast<size_t>(i)]);
+    flat += index[static_cast<size_t>(i)] * stride;
+    stride *= dims_[static_cast<size_t>(i)];
+  }
+  return flat;
+}
+
+std::string Shape::ToString() const { return StrCat("[", StrJoin(dims_, ", "), "]"); }
+
+}  // namespace spacefusion

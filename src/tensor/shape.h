@@ -1,0 +1,44 @@
+// Dense row-major tensor shapes.
+#ifndef SPACEFUSION_SRC_TENSOR_SHAPE_H_
+#define SPACEFUSION_SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace spacefusion {
+
+// An immutable list of dimension extents. Rank-0 shapes describe scalars.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Total element count (1 for scalars).
+  std::int64_t volume() const;
+
+  // Row-major strides; stride of the last dim is 1.
+  std::vector<std::int64_t> strides() const;
+
+  // Flat offset of a multi-index (must have length == rank()).
+  std::int64_t FlatIndex(const std::vector<std::int64_t>& index) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  // "[2, 3, 4]"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_TENSOR_SHAPE_H_

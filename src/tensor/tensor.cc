@@ -1,0 +1,74 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+
+#include "src/support/logging.h"
+
+namespace spacefusion {
+
+namespace {
+// SplitMix64: tiny deterministic generator, independent of libstdc++ version.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)),
+      dtype_(dtype),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape_.volume()), 0.0f)) {}
+
+Tensor Tensor::Zeros(Shape shape, DType dtype) { return Tensor(std::move(shape), dtype); }
+
+Tensor Tensor::Full(Shape shape, float value, DType dtype) {
+  Tensor t(std::move(shape), dtype);
+  for (auto& v : *t.data_) {
+    v = value;
+  }
+  return t;
+}
+
+Tensor Tensor::Random(Shape shape, std::uint64_t seed, DType dtype) {
+  Tensor t(std::move(shape), dtype);
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 1;
+  for (auto& v : *t.data_) {
+    std::uint64_t bits = SplitMix64(state);
+    v = static_cast<float>(static_cast<double>(bits >> 11) / static_cast<double>(1ULL << 53)) *
+            2.0f -
+        1.0f;
+  }
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.dtype_ = dtype_;
+  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  SF_CHECK(a.shape() == b.shape()) << a.shape().ToString() << " vs " << b.shape().ToString();
+  float max_diff = 0.0f;
+  for (std::int64_t i = 0; i < a.volume(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.at(i) - b.at(i)));
+  }
+  return max_diff;
+}
+
+float MaxRelDiff(const Tensor& a, const Tensor& b, float eps) {
+  SF_CHECK(a.shape() == b.shape()) << a.shape().ToString() << " vs " << b.shape().ToString();
+  float max_diff = 0.0f;
+  for (std::int64_t i = 0; i < a.volume(); ++i) {
+    float diff = std::fabs(a.at(i) - b.at(i)) / (std::fabs(b.at(i)) + eps);
+    max_diff = std::max(max_diff, diff);
+  }
+  return max_diff;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,62 @@
+// Reference (unfused, straightforward) implementations of every tensor
+// operator used by SpaceFusion graphs. These define numerical ground truth
+// for the fused-schedule executor.
+//
+// Conventions:
+//  * matmul treats all but the last two dims as batch dims (right-aligned,
+//    broadcastable);
+//  * reductions operate on the LAST axis and keep it with extent 1, so that
+//    the reduced result broadcasts back against its source;
+//  * binary ops use numpy-style right-aligned broadcasting.
+#ifndef SPACEFUSION_SRC_TENSOR_TENSOR_OPS_H_
+#define SPACEFUSION_SRC_TENSOR_TENSOR_OPS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace spacefusion {
+
+enum class UnaryKind { kExp, kRelu, kGelu, kSigmoid, kTanh, kSqrt, kRsqrt, kNeg, kSquare, kRecip };
+enum class BinaryKind { kAdd, kSub, kMul, kDiv, kMax };
+enum class ReduceKind { kMax, kSum, kMean };
+
+const char* UnaryKindName(UnaryKind kind);
+const char* BinaryKindName(BinaryKind kind);
+const char* ReduceKindName(ReduceKind kind);
+
+// Scalar evaluation hooks (shared with the fused executor).
+float EvalUnary(UnaryKind kind, float x);
+float EvalBinary(BinaryKind kind, float a, float b);
+
+// C[..., M, N] = A[..., M, K] @ B[..., K, N]; transpose flags swap the last
+// two dims of the corresponding operand before the contraction.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+Tensor Unary(UnaryKind kind, const Tensor& x);
+
+// Numpy-style broadcasting binary op.
+Tensor Binary(BinaryKind kind, const Tensor& a, const Tensor& b);
+
+// Reduce the last axis, keeping it with extent 1.
+Tensor Reduce(ReduceKind kind, const Tensor& x);
+
+// Softmax over the last axis (numerically stable: max-subtracted).
+Tensor Softmax(const Tensor& x);
+
+// LayerNorm over the last axis: (x - mean) / sqrt(var + eps) * gamma + beta.
+// gamma/beta have shape [last_dim]; pass undefined tensors to skip them.
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps = 1e-5f);
+
+// x * scalar.
+Tensor Scale(const Tensor& x, float scalar);
+
+// Swap the last two axes.
+Tensor Transpose(const Tensor& x);
+
+// Shape of the result of broadcasting a against b (empty optional semantics
+// are avoided: dies on incompatible shapes).
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,80 @@
+#include "src/tuning/tuner.h"
+
+#include <cmath>
+
+#include "src/schedule/lowering.h"
+#include "src/support/logging.h"
+
+namespace spacefusion {
+
+TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
+                       const TunerOptions& options) {
+  TuningStats stats;
+  const ScheduleConfig* best = nullptr;
+  double best_time = 0.0;
+  double best_total = 0.0;  // incumbent's full measurement time (us)
+
+  for (const ScheduleConfig& config : result->configs) {
+    result->schedule.ApplyConfig(config);
+    PlanMemory(&result->schedule, rc);
+    AddressMap probe;
+    KernelSpec spec = LowerSchedule(result->schedule, &probe);
+    double t = cost.EstimateKernel(spec).time_us;
+    ++stats.configs_tried;
+
+    const int total_runs = options.warmup_runs + options.timed_runs;
+    double full_measurement = t * total_runs;
+    double charged = full_measurement;
+    if (options.enable_early_quit && best != nullptr &&
+        full_measurement > options.early_quit_alpha * best_total) {
+      // The runner abandons this config once it has burned alpha x the
+      // incumbent's total test time.
+      charged = std::min(full_measurement, options.early_quit_alpha * best_total + t);
+      if (charged < full_measurement) {
+        ++stats.configs_early_quit;
+      }
+    }
+    stats.simulated_tuning_seconds += charged * 1e-6;
+
+    if (best == nullptr || t < best_time) {
+      best = &config;
+      best_time = t;
+      best_total = full_measurement;
+    }
+  }
+
+  SF_CHECK(best != nullptr) << "tuner called with empty search space";
+  result->schedule.ApplyConfig(*best);
+  PlanMemory(&result->schedule, rc);
+  stats.best_time_us = best_time;
+  return stats;
+}
+
+void ApplyExpertConfig(SlicingResult* result, const ResourceConfig& rc) {
+  // Expert knowledge default: 64-wide tiles and a 64-element temporal step,
+  // or the nearest feasible config.
+  const ScheduleConfig* best = nullptr;
+  double best_score = 0.0;
+  for (const ScheduleConfig& config : result->configs) {
+    double score = 0.0;
+    for (std::int64_t b : config.spatial_blocks) {
+      score -= std::fabs(std::log2(static_cast<double>(b)) - 6.0);
+    }
+    if (config.use_temporal) {
+      // An expert writing a hand-fused kernel serializes the reduction dim
+      // (the FlashAttention recipe), so temporal configs are preferred when
+      // the slicers offer them.
+      score += 100.0;
+      score -= std::fabs(std::log2(static_cast<double>(config.temporal_step)) - 6.0);
+    }
+    if (best == nullptr || score > best_score) {
+      best = &config;
+      best_score = score;
+    }
+  }
+  SF_CHECK(best != nullptr);
+  result->schedule.ApplyConfig(*best);
+  PlanMemory(&result->schedule, rc);
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,42 @@
+// Auto-tuning: measures every configuration of a kernel's search space on
+// the GPU simulator (substituting for the paper's on-GPU test runs) and
+// picks the fastest.
+//
+// Tuning *time* is also modeled, because Table 4 / Table 5 report it: each
+// configuration would be measured with 20 warm-up + 100 timed runs, and the
+// early-quit mechanism abandons a configuration once its accumulated test
+// time exceeds alpha (=0.25) of the incumbent best configuration's total.
+#ifndef SPACEFUSION_SRC_TUNING_TUNER_H_
+#define SPACEFUSION_SRC_TUNING_TUNER_H_
+
+#include "src/schedule/pipeline.h"
+#include "src/sim/cost_model.h"
+
+namespace spacefusion {
+
+struct TuningStats {
+  int configs_tried = 0;
+  int configs_early_quit = 0;
+  double best_time_us = 0.0;
+  // Emulated wall-clock the measurement runs would take on the GPU.
+  double simulated_tuning_seconds = 0.0;
+};
+
+struct TunerOptions {
+  double early_quit_alpha = 0.25;
+  int warmup_runs = 20;
+  int timed_runs = 100;
+  bool enable_early_quit = true;
+};
+
+// Tunes one kernel in place: applies the best config to `result->schedule`.
+TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
+                       const TunerOptions& options = TunerOptions());
+
+// Picks the config nearest an expert default (64-wide tiles, 64-step
+// temporal) without measuring — the Base(SS)/Base+TS ablation variants.
+void ApplyExpertConfig(SlicingResult* result, const ResourceConfig& rc);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_TUNING_TUNER_H_

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/baseline.h"
+#include "src/baselines/patterns.h"
+#include "src/core/model_runner.h"
+#include "src/graph/builder.h"
+#include "src/graph/subgraphs.h"
+
+namespace spacefusion {
+namespace {
+
+// --- Pattern detection -----------------------------------------------------
+
+TEST(PatternTest, DetectsMha) {
+  EXPECT_EQ(static_cast<int>(DetectPattern(BuildMha(4, 64, 64, 32))),
+            static_cast<int>(GraphPattern::kMha));
+}
+
+TEST(PatternTest, DetectsLayerNorm) {
+  EXPECT_EQ(static_cast<int>(DetectPattern(BuildLayerNormGraph(64, 64))),
+            static_cast<int>(GraphPattern::kLayerNorm));
+}
+
+TEST(PatternTest, DetectsGemmChain) {
+  EXPECT_EQ(static_cast<int>(DetectPattern(BuildMlp(3, 64, 32, 32))),
+            static_cast<int>(GraphPattern::kGemmChain));
+  EXPECT_EQ(static_cast<int>(DetectPattern(BuildLstmCell(8, 16, 16))),
+            static_cast<int>(GraphPattern::kGemmChain));
+  // FFN has matmuls + a variance chain: classified as gemm-chain (TensorRT
+  // would handle the GEMMs and the LN separately).
+  EXPECT_EQ(static_cast<int>(
+                DetectPattern(BuildFfn(16, 32, 64, UnaryKind::kGelu, NormKind::kLayerNorm))),
+            static_cast<int>(GraphPattern::kGemmChain));
+}
+
+TEST(PatternTest, ExtractsMhaDims) {
+  Graph g = BuildMha(6, 48, 96, 32);
+  MhaDims d = ExtractMhaDims(g);
+  EXPECT_EQ(d.batch_heads, 6);
+  EXPECT_EQ(d.seq_q, 48);
+  EXPECT_EQ(d.seq_kv, 96);
+  EXPECT_EQ(d.head_dim, 32);
+}
+
+// --- Unfused / library baselines ---------------------------------------------
+
+TEST(UnfusedTest, OneKernelPerOp) {
+  Graph ln = BuildLayerNormGraph(64, 128);
+  AddressMap am;
+  auto kernels = MakePyTorchBaseline()->Plan(ln, AmpereA100(), &am);
+  EXPECT_EQ(kernels.size(), ln.ops().size());  // 9 MI kernels
+}
+
+TEST(UnfusedTest, MhaMaterializesProbabilityMatrix) {
+  Graph g = BuildMha(8, 512, 512, 64);
+  AddressMap am;
+  auto kernels = MakePyTorchBaseline()->Plan(g, AmpereA100(), &am);
+  std::int64_t total_writes = 0;
+  for (const KernelSpec& k : kernels) {
+    total_writes += k.TotalWriteBytes();
+  }
+  // Far more than the boundary outputs: QK-sized intermediates dominate.
+  std::int64_t out_bytes = 8 * 512 * 64 * 2;
+  EXPECT_GT(total_writes, 10 * out_bytes);
+}
+
+TEST(CublasLtTest, FusesGemmEpilogues) {
+  Graph mlp = BuildMlp(4, 128, 64, 64);
+  AddressMap am;
+  auto lt = MakeCublasLtBaseline()->Plan(mlp, AmpereA100(), &am);
+  // One kernel per layer (GEMM + bias + ReLU fused).
+  EXPECT_EQ(lt.size(), 4u);
+  AddressMap am2;
+  auto eager = MakeCublasBaseline()->Plan(mlp, AmpereA100(), &am2);
+  EXPECT_EQ(eager.size(), 12u);  // 3 kernels per layer
+}
+
+TEST(CublasLtTest, LstmEndsUpWithFourKernels) {
+  // The paper: cuBLASLt fuses the first GEMM's bias, leaving 4 kernels.
+  Graph lstm = BuildLstmCell(32, 64, 64);
+  AddressMap am;
+  auto lt = MakeCublasLtBaseline()->Plan(lstm, AmpereA100(), &am);
+  AddressMap am2;
+  auto eager = MakeCublasBaseline()->Plan(lstm, AmpereA100(), &am2);
+  EXPECT_LT(lt.size(), eager.size());
+}
+
+// --- Hand-fused attention ------------------------------------------------------
+
+TEST(FlashAttentionTest, CudaKernelsLackVoltaSupport) {
+  Graph g = BuildMha(8, 256, 256, 64);
+  EXPECT_FALSE(MakeFlashAttention1()->Supports(g, VoltaV100()));
+  EXPECT_FALSE(MakeFlashAttention2()->Supports(g, VoltaV100()));
+  EXPECT_TRUE(MakeTritonFlashAttention()->Supports(g, VoltaV100()));
+  EXPECT_TRUE(MakeFlashAttention2()->Supports(g, AmpereA100()));
+}
+
+TEST(FlashAttentionTest, OnlySupportsMha) {
+  Graph ln = BuildLayerNormGraph(64, 64);
+  EXPECT_FALSE(MakeFlashAttention2()->Supports(ln, AmpereA100()));
+}
+
+TEST(FlashAttentionTest, Fa2ParallelizesQueries) {
+  Graph g = BuildMha(4, 1024, 1024, 64);
+  AddressMap am1, am2;
+  auto fa1 = MakeFlashAttention1()->Plan(g, AmpereA100(), &am1);
+  auto fa2 = MakeFlashAttention2()->Plan(g, AmpereA100(), &am2);
+  ASSERT_EQ(fa1.size(), 1u);
+  ASSERT_EQ(fa2.size(), 1u);
+  EXPECT_GT(fa2[0].grid, fa1[0].grid);
+}
+
+TEST(FlashAttentionTest, TrafficIsBoundaryOnly) {
+  Graph g = BuildMha(4, 512, 512, 64);
+  AddressMap am;
+  auto plan = MakeFlashAttention2()->Plan(g, AmpereA100(), &am);
+  std::int64_t reads = 0;
+  for (const TensorTraffic& r : plan[0].reads) {
+    reads += r.unique_bytes;
+  }
+  EXPECT_EQ(reads, 3 * 4 * 512 * 64 * 2);
+}
+
+// --- LayerNorm baselines ----------------------------------------------------------
+
+TEST(LayerNormBaselinesTest, SingleFusedKernel) {
+  Graph ln = BuildLayerNormGraph(128, 256);
+  for (auto make : {MakeTorchOpLayerNorm, MakeApexLayerNorm, MakeTritonLayerNorm}) {
+    auto baseline = make();
+    ASSERT_TRUE(baseline->Supports(ln, AmpereA100()));
+    AddressMap am;
+    EXPECT_EQ(baseline->Plan(ln, AmpereA100(), &am).size(), 1u) << baseline->name();
+  }
+}
+
+TEST(LayerNormBaselinesTest, TwoPassCostsMoreThanOnePass) {
+  Graph ln = BuildLayerNormGraph(16384, 16384);
+  GpuArch arch = AmpereA100();
+  auto one = EstimateGraphWithBaseline(ln, *MakeTorchOpLayerNorm(), arch);
+  auto two = EstimateGraphWithBaseline(ln, *MakeApexLayerNorm(), arch);
+  ASSERT_TRUE(one && two);
+  EXPECT_GT(two->time_us, one->time_us);
+}
+
+// --- Compiler baselines --------------------------------------------------------------
+
+TEST(AStitchTest, FusesMiRunsOnly) {
+  Graph g = BuildMha(4, 256, 256, 64);
+  AddressMap am;
+  auto kernels = MakeAStitchBaseline()->Plan(g, AmpereA100(), &am);
+  // GEMM, stitched softmax run, GEMM.
+  EXPECT_EQ(kernels.size(), 3u);
+}
+
+TEST(AStitchTest, PureMiGraphBecomesOneKernel) {
+  Graph ln = BuildLayerNormGraph(128, 128);
+  AddressMap am;
+  auto kernels = MakeAStitchBaseline()->Plan(ln, AmpereA100(), &am);
+  EXPECT_EQ(kernels.size(), 1u);
+}
+
+TEST(AStitchTest, NoHopperSupport) {
+  Graph ln = BuildLayerNormGraph(64, 64);
+  EXPECT_FALSE(MakeAStitchBaseline()->Supports(ln, HopperH100()));
+  EXPECT_TRUE(MakeAStitchBaseline()->Supports(ln, AmpereA100()));
+}
+
+TEST(WelderTest, VoltaOnly) {
+  Graph g = BuildMha(4, 128, 128, 32);
+  EXPECT_TRUE(MakeWelderBaseline()->Supports(g, VoltaV100()));
+  EXPECT_FALSE(MakeWelderBaseline()->Supports(g, AmpereA100()));
+}
+
+TEST(WelderTest, ShortSequenceFusesLongSequencePartitions) {
+  GpuArch volta = VoltaV100();
+  AddressMap am1, am2;
+  auto short_plan = MakeWelderBaseline()->Plan(BuildMha(4, 128, 128, 32), volta, &am1);
+  auto long_plan = MakeWelderBaseline()->Plan(BuildMha(4, 2048, 2048, 64), volta, &am2);
+  // Without dependency transformation, long sequences cannot stay fused.
+  EXPECT_GT(long_plan.size(), short_plan.size());
+}
+
+TEST(EngineBaselinesTest, DispatchOnPattern) {
+  GpuArch arch = AmpereA100();
+  AddressMap am;
+  auto trt = MakeTensorRtBaseline();
+  EXPECT_EQ(trt->Plan(BuildMha(4, 256, 256, 64), arch, &am).size(), 1u);
+  AddressMap am2;
+  EXPECT_EQ(trt->Plan(BuildLayerNormGraph(64, 64), arch, &am2).size(), 1u);
+  AddressMap am3;
+  EXPECT_EQ(trt->Plan(BuildMlp(3, 64, 32, 32), arch, &am3).size(), 3u);  // epilogue fused
+}
+
+TEST(EngineBaselinesTest, KernlKeepsTorchGemms) {
+  GpuArch arch = AmpereA100();
+  AddressMap am;
+  auto kernl = MakeKernlBaseline();
+  // Kernl does not fuse GEMM epilogues: 3 kernels per MLP layer.
+  EXPECT_EQ(kernl->Plan(BuildMlp(2, 64, 32, 32), arch, &am).size(), 6u);
+}
+
+TEST(ModelRunnerTest, UnsupportedBaselineReturnsNullopt) {
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, 1, 128));
+  auto result = EstimateModelWithBaseline(model, *MakeWelderBaseline(), AmpereA100());
+  EXPECT_FALSE(result.has_value());
+  auto on_volta = EstimateModelWithBaseline(model, *MakeWelderBaseline(), VoltaV100());
+  EXPECT_TRUE(on_volta.has_value());
+}
+
+}  // namespace
+}  // namespace spacefusion

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/codegen/triton_codegen.h"
+#include "src/graph/subgraphs.h"
+#include "src/schedule/pipeline.h"
+#include "src/schedule/resource_aware.h"
+#include "src/support/string_util.h"
+#include "src/sim/arch.h"
+#include "src/tuning/tuner.h"
+
+namespace spacefusion {
+namespace {
+
+SmgSchedule MakeMhaSchedule() {
+  Graph g = BuildMha(4, 128, 512, 64);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  StatusOr<SlicingResult> sliced = ResourceAwareSlicing(g, rc);
+  EXPECT_TRUE(sliced.ok());
+  ApplyExpertConfig(&*sliced, rc);
+  return sliced->schedule;
+}
+
+TEST(CodegenTest, MhaKernelContainsFlashAttentionStructure) {
+  SmgSchedule sched = MakeMhaSchedule();
+  ASSERT_TRUE(sched.has_temporal);
+  std::string code = EmitTritonKernel(sched);
+
+  // Kernel skeleton.
+  EXPECT_NE(code.find("@triton.jit"), std::string::npos);
+  EXPECT_NE(code.find("tl.program_id(0)"), std::string::npos);
+  EXPECT_NE(code.find("for "), std::string::npos);  // temporal loop
+  EXPECT_NE(code.find("STEP"), std::string::npos);
+
+  // Both GEMMs as tl.dot, the softmax as max/exp/sum.
+  EXPECT_NE(code.find("tl.dot("), std::string::npos);
+  EXPECT_NE(code.find("tl.exp("), std::string::npos);
+  EXPECT_NE(code.find("tl.max("), std::string::npos);
+  EXPECT_NE(code.find("tl.sum("), std::string::npos);
+
+  // The generated update functions: online-softmax rescaling of the
+  // running sum and output (exp(old-new) factors).
+  EXPECT_NE(code.find("Update-then-Aggregate"), std::string::npos);
+  EXPECT_NE(code.find("_new"), std::string::npos);
+  EXPECT_NE(code.find("tl.exp(1 * ("), std::string::npos);
+
+  // Output store and launch stub.
+  EXPECT_NE(code.find("tl.store("), std::string::npos);
+  EXPECT_NE(code.find("grid = ("), std::string::npos);
+}
+
+TEST(CodegenTest, StraightLineKernelHasNoLoop) {
+  Graph g = BuildLayerNormGraph(64, 256);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  StatusOr<SlicingResult> sliced = ResourceAwareSlicing(g, rc);
+  ASSERT_TRUE(sliced.ok());
+  ApplyExpertConfig(&*sliced, rc);
+  std::string code = EmitTritonKernel(sliced->schedule);
+  EXPECT_EQ(code.find("for "), std::string::npos);
+  EXPECT_NE(code.find("tl.sqrt("), std::string::npos);
+  EXPECT_NE(code.find("tl.sum("), std::string::npos);
+}
+
+TEST(CodegenTest, CommentsCanBeDisabled) {
+  SmgSchedule sched = MakeMhaSchedule();
+  CodegenOptions options;
+  options.emit_comments = false;
+  options.emit_launch_stub = false;
+  std::string code = EmitTritonKernel(sched, options);
+  EXPECT_EQ(code.find("# spatial slicing"), std::string::npos);
+  EXPECT_EQ(code.find("grid = ("), std::string::npos);
+}
+
+TEST(CodegenTest, ProgramEmitsEveryKernel) {
+  Graph g = BuildLayerNormGraph(32, 4096);
+  ResourceConfig tiny;
+  tiny.smem_per_block_max = 4 * 1024;
+  tiny.reg_per_block_max = 32 * 1024;
+  StatusOr<PipelineResult> pipeline = RunSlicingPipeline(g, tiny, SlicingOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ScheduledProgram program;
+  for (SlicingResult& k : pipeline->candidates.front().kernels) {
+    ApplyExpertConfig(&k, tiny);
+    program.kernels.push_back(k.schedule);
+  }
+  ASSERT_GT(program.kernels.size(), 1u);
+  std::string code = EmitTritonProgram(program);
+  EXPECT_NE(code.find("import triton"), std::string::npos);
+  EXPECT_NE(code.find(StrCat("kernel ", program.kernels.size(), "/")), std::string::npos);
+}
+
+TEST(CodegenTest, IdentifiersAreSanitized) {
+  Graph g = BuildMha(2, 16, 64, 16);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  StatusOr<SlicingResult> sliced = ResourceAwareSlicing(g, rc);
+  ASSERT_TRUE(sliced.ok());
+  ApplyExpertConfig(&*sliced, rc);
+  std::string code = EmitTritonKernel(sliced->schedule);
+  // Tensor names contain '.' which is illegal in Python identifiers; the
+  // emitted code must never produce e.g. "qk.out_ptr".
+  EXPECT_EQ(code.find(".out_ptr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spacefusion

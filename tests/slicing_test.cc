@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/graph/subgraphs.h"
+#include "src/slicing/slicers.h"
+#include "src/smg/smg_builder.h"
+
+namespace spacefusion {
+namespace {
+
+SmgBuildResult Build(const Graph& g) {
+  auto built = BuildSmg(g);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+DimId DimWithExtent(const Smg& smg, std::int64_t extent) {
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    if (smg.dim(d).extent == extent) {
+      return d;
+    }
+  }
+  return kNoDim;
+}
+
+// --- Dim classification (paper Table 3) -----------------------------------
+
+TEST(DimAnalysisTest, MhaClassesMatchTable3) {
+  Graph g = BuildMha(/*bh=*/4, /*sq=*/32, /*skv=*/48, /*d=*/16);
+  SmgBuildResult built = Build(g);
+  const Smg& smg = built.smg;
+
+  DimId bh = DimWithExtent(smg, 4);
+  DimId sq = DimWithExtent(smg, 32);
+  DimId skv = DimWithExtent(smg, 48);
+  ASSERT_NE(bh, kNoDim);
+  ASSERT_NE(sq, kNoDim);
+  ASSERT_NE(skv, kNoDim);
+
+  // Batch-heads: every space carries it (except weights-free graph inputs
+  // lacking it only via the scale constant's input O2As) -> spatially ok.
+  EXPECT_TRUE(AnalyzeDim(smg, bh).SpatialSliceable());
+  // Query rows: only input One-to-Alls (K, V reuse) -> spatially ok.
+  DimAnalysis sq_analysis = AnalyzeDim(smg, sq);
+  EXPECT_TRUE(sq_analysis.SpatialSliceable());
+  // KV sequence: carries the dependent All-to-One chain.
+  DimAnalysis skv_analysis = AnalyzeDim(smg, skv);
+  EXPECT_EQ(static_cast<int>(skv_analysis.cls), static_cast<int>(DimClass::kDependentA2O));
+  EXPECT_FALSE(skv_analysis.SpatialSliceable());
+  EXPECT_EQ(skv_analysis.all_to_ones.size(), 3u);  // max, sum, dot
+}
+
+TEST(DimAnalysisTest, LayerNormVarianceChainIsDependent) {
+  Graph g = BuildLayerNormGraph(16, 64);
+  SmgBuildResult built = Build(g);
+  DimId n = DimWithExtent(built.smg, 64);
+  DimAnalysis analysis = AnalyzeDim(built.smg, n);
+  EXPECT_EQ(static_cast<int>(analysis.cls), static_cast<int>(DimClass::kDependentA2O));
+}
+
+TEST(DimAnalysisTest, SingleGemmContractionIsIndependent) {
+  GraphBuilder b("gemm");
+  TensorId x = b.Input("x", Shape({8, 32}));
+  TensorId w = b.Weight("w", Shape({32, 16}));
+  b.MarkOutput(b.MatMul(x, w));
+  Graph g = b.Build();
+  SmgBuildResult built = Build(g);
+  DimId k = DimWithExtent(built.smg, 32);
+  DimAnalysis analysis = AnalyzeDim(built.smg, k);
+  EXPECT_EQ(static_cast<int>(analysis.cls), static_cast<int>(DimClass::kIndependentA2O));
+}
+
+TEST(DimAnalysisTest, FreeDimHasNoMappings) {
+  // A pure element-wise graph: every dim is free.
+  GraphBuilder b("ew");
+  TensorId x = b.Input("x", Shape({8, 8}));
+  b.MarkOutput(b.Relu(x));
+  Graph g = b.Build();
+  SmgBuildResult built = Build(g);
+  for (DimId d = 0; d < built.smg.num_dims(); ++d) {
+    EXPECT_EQ(static_cast<int>(AnalyzeDim(built.smg, d).cls),
+              static_cast<int>(DimClass::kFree));
+  }
+}
+
+// --- Spatial slicer ---------------------------------------------------------
+
+TEST(SpatialSlicerTest, MhaSlicesBatchAndQueryRows) {
+  Graph g = BuildMha(4, 32, 48, 16);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> dims = SpatialSlicer::GetDims(built.smg);
+  // Exactly bh and seq_q (head_dim of the output is reused... check).
+  ASSERT_FALSE(dims.empty());
+  const Smg& smg = built.smg;
+  for (DimId d : dims) {
+    EXPECT_TRUE(AnalyzeDim(smg, d).SpatialSliceable());
+  }
+  // The kv dim must NOT be spatially sliceable.
+  DimId skv = DimWithExtent(smg, 48);
+  EXPECT_EQ(std::count(dims.begin(), dims.end(), skv), 0);
+}
+
+TEST(SpatialSlicerTest, LayerNormSlicesRowsOnly) {
+  Graph g = BuildLayerNormGraph(128, 64);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> dims = SpatialSlicer::GetDims(built.smg);
+  ASSERT_EQ(dims.size(), 1u);
+  EXPECT_EQ(built.smg.dim(dims[0]).extent, 128);
+}
+
+TEST(SpatialSlicerTest, MlpSlicesBatchRowsOnly) {
+  Graph g = BuildMlp(3, 256, 64, 64);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> dims = SpatialSlicer::GetDims(built.smg);
+  ASSERT_EQ(dims.size(), 1u);
+  EXPECT_EQ(built.smg.dim(dims[0]).extent, 256);
+}
+
+// --- Temporal slicer --------------------------------------------------------
+
+TEST(TemporalSlicerTest, MhaPicksKvSequence) {
+  Graph g = BuildMha(4, 32, 512, 16);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> spatial = SpatialSlicer::GetDims(built.smg);
+  auto choice = TemporalSlicer::GetPriorDim(g, built, spatial);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_EQ(built.smg.dim(choice->dim).extent, 512);
+  EXPECT_EQ(choice->plan.aggregations.size(), 3u);
+  EXPECT_TRUE(choice->plan.AnyUpdate());
+}
+
+TEST(TemporalSlicerTest, UtaDisabledRejectsMhaKvDim) {
+  Graph g = BuildMha(4, 32, 512, 16);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> spatial = SpatialSlicer::GetDims(built.smg);
+  auto choice = TemporalSlicer::GetPriorDim(g, built, spatial, /*allow_uta=*/false);
+  if (choice.ok()) {
+    // A fallback dim may exist (an independent contraction), but it must not
+    // be the kv dim and must not need update functions.
+    EXPECT_NE(built.smg.dim(choice->dim).extent, 512);
+    EXPECT_FALSE(choice->plan.AnyUpdate());
+  }
+}
+
+TEST(TemporalSlicerTest, PriorityFollowsDataVolume) {
+  Graph g = BuildMha(2, 16, 256, 8);
+  SmgBuildResult built = Build(g);
+  std::vector<DimId> spatial = SpatialSlicer::GetDims(built.smg);
+  std::vector<DimId> candidates = TemporalSlicer::CandidateDims(built.smg, spatial);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_GE(built.smg.DataVolumeAlongDim(candidates[0]),
+            built.smg.DataVolumeAlongDim(candidates[1]));
+}
+
+// --- Update-function generation (paper Fig. 8) ------------------------------
+
+TEST(UpdateFunctionsTest, MhaUpdateFunctionsMatchPaper) {
+  Graph g = BuildMha(2, 16, 64, 8);
+  SmgBuildResult built = Build(g);
+  DimId skv = DimWithExtent(built.smg, 64);
+  auto plan = DeriveTemporalPlan(g, built, skv);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->aggregations.size(), 3u);
+
+  const ReductionAggregation& max_agg = plan->aggregations[0];
+  const ReductionAggregation& sum_agg = plan->aggregations[1];
+  const ReductionAggregation& out_agg = plan->aggregations[2];
+
+  // Max: running max, no update (aggrMax in the paper's Fig. 7).
+  EXPECT_EQ(static_cast<int>(max_agg.combiner), static_cast<int>(ReduceOpKind::kMax));
+  EXPECT_FALSE(max_agg.NeedsUpdate());
+
+  // Sum: updateSum(old) = old * exp(max_old - max_new).
+  EXPECT_EQ(static_cast<int>(sum_agg.combiner), static_cast<int>(ReduceOpKind::kSum));
+  ASSERT_EQ(sum_agg.update.size(), 1u);
+  EXPECT_EQ(static_cast<int>(sum_agg.update[0].prim), static_cast<int>(FactorPrim::kExpNeg));
+  EXPECT_EQ(sum_agg.update[0].power, 1);
+  EXPECT_EQ(sum_agg.update[0].source, max_agg.op);
+
+  // Out: updateOut(old) = old * sum_old/sum_new * exp(max_old - max_new).
+  ASSERT_EQ(out_agg.update.size(), 2u);
+  bool has_exp = false, has_ratio = false;
+  for (const UpdateFactor& f : out_agg.update) {
+    if (f.prim == FactorPrim::kExpNeg && f.source == max_agg.op && f.power == 1) {
+      has_exp = true;
+    }
+    if (f.prim == FactorPrim::kIdent && f.source == sum_agg.op && f.power == -1) {
+      has_ratio = true;
+    }
+  }
+  EXPECT_TRUE(has_exp);
+  EXPECT_TRUE(has_ratio);
+}
+
+TEST(UpdateFunctionsTest, FactorMultiplierValues) {
+  UpdateFactor exp_f;
+  exp_f.prim = FactorPrim::kExpNeg;
+  exp_f.power = 1;
+  EXPECT_NEAR(exp_f.Multiplier(2.0f, 3.0f), std::exp(-1.0f), 1e-6f);
+
+  UpdateFactor ratio;
+  ratio.prim = FactorPrim::kIdent;
+  ratio.power = -1;
+  EXPECT_NEAR(ratio.Multiplier(4.0f, 8.0f), 0.5f, 1e-6f);
+
+  UpdateFactor square;
+  square.prim = FactorPrim::kIdent;
+  square.power = 2;
+  EXPECT_NEAR(square.Multiplier(2.0f, 4.0f), 4.0f, 1e-6f);
+}
+
+TEST(UpdateFunctionsTest, LayerNormChainIsNotPostposable) {
+  // mean -> (x - mean)^2 -> mean: the square blocks postposition, so the
+  // norm dim must be rejected (paper Table 3's dagger case).
+  Graph g = BuildLayerNormGraph(16, 64);
+  SmgBuildResult built = Build(g);
+  DimId n = DimWithExtent(built.smg, 64);
+  auto plan = DeriveTemporalPlan(g, built, n);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(UpdateFunctionsTest, StandaloneSoftmaxOutputStreamsStale) {
+  // softmax's own output extends along the reduced dim and depends on the
+  // running sum: slicing it would write stale slices -> rejected.
+  GraphBuilder b("softmax");
+  TensorId x = b.Input("x", Shape({16, 64}));
+  b.MarkOutput(b.Softmax(x));
+  Graph g = b.Build();
+  SmgBuildResult built = Build(g);
+  DimId n = DimWithExtent(built.smg, 64);
+  auto plan = DeriveTemporalPlan(g, built, n);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(UpdateFunctionsTest, IndependentContractionUsesSimpleAggregate) {
+  GraphBuilder b("gemm");
+  TensorId x = b.Input("x", Shape({8, 128}));
+  TensorId w = b.Weight("w", Shape({128, 16}));
+  b.MarkOutput(b.MatMul(x, w));
+  Graph g = b.Build();
+  SmgBuildResult built = Build(g);
+  DimId k = DimWithExtent(built.smg, 128);
+  auto plan = DeriveTemporalPlan(g, built, k);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->aggregations.size(), 1u);
+  EXPECT_FALSE(plan->AnyUpdate());
+  EXPECT_EQ(static_cast<int>(plan->aggregations[0].combiner),
+            static_cast<int>(ReduceOpKind::kSum));
+}
+
+TEST(UpdateFunctionsTest, PureStreamingDimHasEmptyPlan) {
+  GraphBuilder b("bias");
+  TensorId x = b.Input("x", Shape({8, 64}));
+  TensorId bias = b.Weight("bias", Shape({64}));
+  b.MarkOutput(b.Add(x, bias));
+  Graph g = b.Build();
+  SmgBuildResult built = Build(g);
+  for (DimId d = 0; d < built.smg.num_dims(); ++d) {
+    auto plan = DeriveTemporalPlan(g, built, d);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(plan->aggregations.empty());
+  }
+}
+
+TEST(UpdateFunctionsTest, PlanToStringMentionsFactors) {
+  Graph g = BuildMha(2, 16, 64, 8);
+  SmgBuildResult built = Build(g);
+  DimId skv = DimWithExtent(built.smg, 64);
+  auto plan = DeriveTemporalPlan(g, built, skv);
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->ToString(g);
+  EXPECT_NE(text.find("exp("), std::string::npos);
+  EXPECT_NE(text.find("combiner=max"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spacefusion

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/subgraphs.h"
+#include "src/smg/smg_builder.h"
+
+namespace spacefusion {
+namespace {
+
+// A single GEMM's SMG must match the paper's Fig. 3: data spaces
+// Query(M,-,K), Key(-,N,K), QK(M,N,-); an iteration space GEMM(M,N,K); two
+// One-to-All input mappings and one All-to-One(dot) output mapping.
+TEST(SmgBuilderTest, SingleGemmMatchesFig3) {
+  GraphBuilder b("gemm");
+  TensorId q = b.Input("query", Shape({32, 16}));
+  TensorId k = b.Input("key", Shape({24, 16}));
+  b.MarkOutput(b.MatMul(q, k, false, /*transpose_b=*/true));
+  Graph g = b.Build();
+
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Smg& smg = built->smg;
+
+  EXPECT_EQ(smg.num_dims(), 3);  // M, N, K
+  // 3 data spaces + 1 iteration space.
+  EXPECT_EQ(smg.spaces().size(), 4u);
+
+  int o2a = 0, a2o = 0, o2o = 0;
+  for (const Mapping& m : smg.mappings()) {
+    switch (m.kind) {
+      case MappingKind::kOneToAll:
+        ++o2a;
+        break;
+      case MappingKind::kAllToOne:
+        ++a2o;
+        EXPECT_EQ(static_cast<int>(m.reduce), static_cast<int>(ReduceOpKind::kDot));
+        break;
+      case MappingKind::kOneToOne:
+        ++o2o;
+        break;
+    }
+  }
+  EXPECT_EQ(o2a, 2);
+  EXPECT_EQ(a2o, 1);
+  EXPECT_EQ(o2o, 0);
+
+  // Query is reused along N; Key along M; the contraction runs along K.
+  SpaceId q_space = built->tensor_space[static_cast<size_t>(q)];
+  SpaceId k_space = built->tensor_space[static_cast<size_t>(k)];
+  DimId q_dir = kNoDim, k_dir = kNoDim, reduce_dir = kNoDim;
+  for (const Mapping& m : smg.mappings()) {
+    if (m.kind == MappingKind::kOneToAll && m.src == q_space) {
+      q_dir = m.dim;
+    }
+    if (m.kind == MappingKind::kOneToAll && m.src == k_space) {
+      k_dir = m.dim;
+    }
+    if (m.kind == MappingKind::kAllToOne) {
+      reduce_dir = m.dim;
+    }
+  }
+  // Q lacks exactly the N dim, K lacks exactly the M dim.
+  EXPECT_FALSE(smg.space(q_space).HasDim(q_dir));
+  EXPECT_FALSE(smg.space(k_space).HasDim(k_dir));
+  // The contracted dim is shared by both inputs.
+  EXPECT_TRUE(smg.space(q_space).HasDim(reduce_dir));
+  EXPECT_TRUE(smg.space(k_space).HasDim(reduce_dir));
+  EXPECT_EQ(smg.dim(reduce_dir).extent, 16);
+}
+
+// The MHA SMG (paper Fig. 5): the computation in (Dim2, Dim1, Dim0) has
+// 6 One-to-Alls and 4 All-to-Ones from the two GEMMs and the softmax.
+// (The scale-by-1/sqrt(d) constant adds input One-to-Alls on top.)
+TEST(SmgBuilderTest, MhaMappingStructureMatchesFig5) {
+  Graph g = BuildMha(4, 32, 48, 16);
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  const Smg& smg = built->smg;
+
+  // Dims: batch-heads, seq_q, head_dim (d2), seq_kv, out head_dim (d4).
+  EXPECT_EQ(smg.num_dims(), 5);
+
+  int a2o = 0;
+  int non_const_o2a = 0;
+  for (const Mapping& m : smg.mappings()) {
+    if (m.kind == MappingKind::kAllToOne) {
+      ++a2o;
+    }
+    if (m.kind == MappingKind::kOneToAll &&
+        smg.space(m.src).role != DataRole::kConstant) {
+      ++non_const_o2a;
+    }
+  }
+  EXPECT_EQ(a2o, 4);           // GEMM1-dot, max, sum, GEMM2-dot
+  EXPECT_EQ(non_const_o2a, 6);  // Q, K (GEMM1); max, sum broadcasts; Div, V (GEMM2)
+
+  // Three of the four All-to-Ones are geometrically parallel (along the kv
+  // dim); GEMM1's is orthogonal.
+  std::map<DimId, int> a2o_dims;
+  for (const Mapping& m : smg.mappings()) {
+    if (m.kind == MappingKind::kAllToOne) {
+      a2o_dims[m.dim]++;
+    }
+  }
+  int max_parallel = 0;
+  for (const auto& [dim, count] : a2o_dims) {
+    max_parallel = std::max(max_parallel, count);
+  }
+  EXPECT_EQ(max_parallel, 3);
+  EXPECT_EQ(a2o_dims.size(), 2u);
+}
+
+TEST(SmgBuilderTest, DimensionAlignmentSharesIntermediateSpaces) {
+  // Two chained matmuls: the K dim of the second equals the N dim of the
+  // first — alignment must produce ONE global dim for both.
+  GraphBuilder b("chain");
+  TensorId x = b.Input("x", Shape({8, 16}));
+  TensorId w1 = b.Weight("w1", Shape({16, 32}));
+  TensorId w2 = b.Weight("w2", Shape({32, 4}));
+  TensorId mid = b.MatMul(x, w1);
+  b.MarkOutput(b.MatMul(mid, w2));
+  Graph g = b.Build();
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  // Dims: M(8), K1(16), N1=K2(32), N2(4) -> exactly 4 global dims.
+  EXPECT_EQ(built->smg.num_dims(), 4);
+}
+
+TEST(SmgBuilderTest, ElementwiseIsOneToOne) {
+  GraphBuilder b("ew");
+  TensorId x = b.Input("x", Shape({8, 8}));
+  TensorId y = b.Input("y", Shape({8, 8}));
+  b.MarkOutput(b.Add(b.Relu(x), y));
+  Graph g = b.Build();
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  for (const Mapping& m : built->smg.mappings()) {
+    EXPECT_EQ(static_cast<int>(m.kind), static_cast<int>(MappingKind::kOneToOne));
+  }
+}
+
+TEST(SmgBuilderTest, BroadcastStatsAreOtherOneToAll) {
+  GraphBuilder b("sm");
+  TensorId x = b.Input("x", Shape({8, 32}));
+  b.MarkOutput(b.Softmax(x));
+  Graph g = b.Build();
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  const Smg& smg = built->smg;
+  int intermediate_o2a = 0;
+  for (const Mapping& m : smg.mappings()) {
+    if (m.kind == MappingKind::kOneToAll &&
+        smg.space(m.src).role == DataRole::kIntermediate) {
+      ++intermediate_o2a;
+      EXPECT_FALSE(smg.IsInputOneToAll(m));
+    }
+  }
+  EXPECT_EQ(intermediate_o2a, 2);  // max and sum broadcast back along N
+}
+
+TEST(SmgBuilderTest, AxisOfDimRoundTrips) {
+  Graph g = BuildMha(4, 32, 48, 16);
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  for (const TensorInfo& t : g.tensors()) {
+    for (int axis = 0; axis < t.shape.rank(); ++axis) {
+      DimId d = built->tensor_axis_dims[static_cast<size_t>(t.id)][static_cast<size_t>(axis)];
+      if (t.shape.dim(axis) > 1) {
+        ASSERT_NE(d, kNoDim);
+        EXPECT_EQ(built->smg.dim(d).extent, t.shape.dim(axis));
+        EXPECT_EQ(built->AxisOfDim(t.id, d), axis);
+      } else {
+        EXPECT_EQ(d, kNoDim);
+      }
+    }
+  }
+}
+
+TEST(SmgTest, ReachesFollowsMappingDirection) {
+  Graph g = BuildMha(2, 8, 8, 4);
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  const Smg& smg = built->smg;
+  SpaceId q = built->tensor_space[static_cast<size_t>(g.InputIds()[0])];
+  SpaceId out = built->tensor_space[static_cast<size_t>(g.OutputIds()[0])];
+  EXPECT_TRUE(smg.Reaches(q, out));
+  EXPECT_FALSE(smg.Reaches(out, q));
+}
+
+TEST(SmgTest, DataVolumeAlongDimPrefersKvSeq) {
+  // With seq_kv >> head_dim, more data-space volume lies along the kv dim,
+  // which is why the temporal slicer prefers it.
+  Graph g = BuildMha(2, 64, 512, 16);
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  const Smg& smg = built->smg;
+  DimId kv = kNoDim, feat = kNoDim;
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    if (smg.dim(d).extent == 512) {
+      kv = d;
+    }
+  }
+  // head_dim appears twice (QK contraction and output feature); take any.
+  for (DimId d = 0; d < smg.num_dims(); ++d) {
+    if (smg.dim(d).extent == 16) {
+      feat = d;
+    }
+  }
+  ASSERT_NE(kv, kNoDim);
+  ASSERT_NE(feat, kNoDim);
+  EXPECT_GT(smg.DataVolumeAlongDim(kv), smg.DataVolumeAlongDim(feat));
+}
+
+TEST(SmgTest, ToStringMentionsMappings) {
+  Graph g = BuildLayerNormGraph(8, 16);
+  auto built = BuildSmg(g);
+  ASSERT_TRUE(built.ok());
+  std::string dump = built->smg.ToString();
+  EXPECT_NE(dump.find("A2O"), std::string::npos);
+  EXPECT_NE(dump.find("O2A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spacefusion

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+#include "src/support/status.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Unschedulable("too big");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnschedulable);
+  EXPECT_EQ(st.message(), "too big");
+  EXPECT_EQ(st.ToString(), "UNSCHEDULABLE: too big");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnschedulable), "UNSCHEDULABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "UNSUPPORTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  SF_ASSIGN_OR_RETURN(int h, Half(x));
+  SF_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  StatusOr<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  StatusOr<int> bad = Quarter(6);  // 6/2 = 3 is odd
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(8, 2), 4);
+  EXPECT_EQ(CeilDiv(1, 2), 1);
+  EXPECT_EQ(CeilDiv(0, 2), 0);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp(7, 4), 8);
+  EXPECT_EQ(RoundUp(8, 4), 8);
+  EXPECT_EQ(RoundUp(1, 256), 256);
+}
+
+TEST(MathUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_EQ(NextPowerOfTwo(5), 8);
+  EXPECT_EQ(NextPowerOfTwo(8), 8);
+  EXPECT_EQ(PrevPowerOfTwo(5), 4);
+  EXPECT_EQ(PrevPowerOfTwo(8), 8);
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(9), 3);
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(StrJoin(v, ", "), "1, 2, 3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StringUtilTest, StrSplit) {
+  std::vector<std::string> parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("spacefusion", "space"));
+  EXPECT_FALSE(StartsWith("space", "spacefusion"));
+}
+
+TEST(LoggingTest, ThresholdControlsEmission) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  // Below-threshold logging must not crash (and must not evaluate into the
+  // void-cast branch incorrectly).
+  SF_LOG(Info) << "suppressed";
+  SF_LOG(Error) << "emitted (expected in test output)";
+  SetLogThreshold(old);
+}
+
+}  // namespace
+}  // namespace spacefusion
