@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mlp_lstm.dir/fig11_mlp_lstm.cc.o"
+  "CMakeFiles/fig11_mlp_lstm.dir/fig11_mlp_lstm.cc.o.d"
+  "fig11_mlp_lstm"
+  "fig11_mlp_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mlp_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

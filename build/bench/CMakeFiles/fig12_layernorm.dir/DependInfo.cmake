@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_layernorm.cc" "bench/CMakeFiles/fig12_layernorm.dir/fig12_layernorm.cc.o" "gcc" "bench/CMakeFiles/fig12_layernorm.dir/fig12_layernorm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/sf_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/sf_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smg/CMakeFiles/sf_smg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_layernorm.dir/fig12_layernorm.cc.o"
+  "CMakeFiles/fig12_layernorm.dir/fig12_layernorm.cc.o.d"
+  "fig12_layernorm"
+  "fig12_layernorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_layernorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

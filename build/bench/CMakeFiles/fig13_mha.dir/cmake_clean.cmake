@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mha.dir/fig13_mha.cc.o"
+  "CMakeFiles/fig13_mha.dir/fig13_mha.cc.o.d"
+  "fig13_mha"
+  "fig13_mha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_compiler.dir/microbench_compiler.cc.o"
+  "CMakeFiles/microbench_compiler.dir/microbench_compiler.cc.o.d"
+  "microbench_compiler"
+  "microbench_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_compile_time.dir/table4_compile_time.cc.o"
+  "CMakeFiles/table4_compile_time.dir/table4_compile_time.cc.o.d"
+  "table4_compile_time"
+  "table4_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

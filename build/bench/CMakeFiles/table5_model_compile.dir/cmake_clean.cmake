@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_model_compile.dir/table5_model_compile.cc.o"
+  "CMakeFiles/table5_model_compile.dir/table5_model_compile.cc.o.d"
+  "table5_model_compile"
+  "table5_model_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_model_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

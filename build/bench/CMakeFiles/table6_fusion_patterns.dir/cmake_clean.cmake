@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fusion_patterns.dir/table6_fusion_patterns.cc.o"
+  "CMakeFiles/table6_fusion_patterns.dir/table6_fusion_patterns.cc.o.d"
+  "table6_fusion_patterns"
+  "table6_fusion_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fusion_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

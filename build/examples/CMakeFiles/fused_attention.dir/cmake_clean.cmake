@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_attention.dir/fused_attention.cpp.o"
+  "CMakeFiles/fused_attention.dir/fused_attention.cpp.o.d"
+  "fused_attention"
+  "fused_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_service.dir/transformer_service.cpp.o"
+  "CMakeFiles/transformer_service.dir/transformer_service.cpp.o.d"
+  "transformer_service"
+  "transformer_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("graph")
+subdirs("smg")
+subdirs("slicing")
+subdirs("sim")
+subdirs("schedule")
+subdirs("exec")
+subdirs("codegen")
+subdirs("baselines")
+subdirs("tuning")
+subdirs("core")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_baselines.dir/attention_baselines.cc.o"
+  "CMakeFiles/sf_baselines.dir/attention_baselines.cc.o.d"
+  "CMakeFiles/sf_baselines.dir/compiler_baselines.cc.o"
+  "CMakeFiles/sf_baselines.dir/compiler_baselines.cc.o.d"
+  "CMakeFiles/sf_baselines.dir/kernel_library.cc.o"
+  "CMakeFiles/sf_baselines.dir/kernel_library.cc.o.d"
+  "CMakeFiles/sf_baselines.dir/layernorm_baselines.cc.o"
+  "CMakeFiles/sf_baselines.dir/layernorm_baselines.cc.o.d"
+  "CMakeFiles/sf_baselines.dir/patterns.cc.o"
+  "CMakeFiles/sf_baselines.dir/patterns.cc.o.d"
+  "CMakeFiles/sf_baselines.dir/simple_baselines.cc.o"
+  "CMakeFiles/sf_baselines.dir/simple_baselines.cc.o.d"
+  "libsf_baselines.a"
+  "libsf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

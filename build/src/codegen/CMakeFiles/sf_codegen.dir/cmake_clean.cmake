@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_codegen.dir/triton_codegen.cc.o"
+  "CMakeFiles/sf_codegen.dir/triton_codegen.cc.o.d"
+  "libsf_codegen.a"
+  "libsf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

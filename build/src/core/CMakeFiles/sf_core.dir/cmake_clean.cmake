@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/compiler.cc.o"
+  "CMakeFiles/sf_core.dir/compiler.cc.o.d"
+  "CMakeFiles/sf_core.dir/model_runner.cc.o"
+  "CMakeFiles/sf_core.dir/model_runner.cc.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

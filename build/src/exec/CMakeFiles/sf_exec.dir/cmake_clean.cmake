@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_exec.dir/reference_executor.cc.o"
+  "CMakeFiles/sf_exec.dir/reference_executor.cc.o.d"
+  "CMakeFiles/sf_exec.dir/schedule_executor.cc.o"
+  "CMakeFiles/sf_exec.dir/schedule_executor.cc.o.d"
+  "libsf_exec.a"
+  "libsf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

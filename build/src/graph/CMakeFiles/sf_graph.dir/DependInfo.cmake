@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/sf_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/sf_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/models.cc" "src/graph/CMakeFiles/sf_graph.dir/models.cc.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/models.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/graph/CMakeFiles/sf_graph.dir/op.cc.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/op.cc.o.d"
+  "/root/repo/src/graph/subgraphs.cc" "src/graph/CMakeFiles/sf_graph.dir/subgraphs.cc.o" "gcc" "src/graph/CMakeFiles/sf_graph.dir/subgraphs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

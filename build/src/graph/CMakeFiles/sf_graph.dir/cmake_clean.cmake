@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_graph.dir/builder.cc.o"
+  "CMakeFiles/sf_graph.dir/builder.cc.o.d"
+  "CMakeFiles/sf_graph.dir/graph.cc.o"
+  "CMakeFiles/sf_graph.dir/graph.cc.o.d"
+  "CMakeFiles/sf_graph.dir/models.cc.o"
+  "CMakeFiles/sf_graph.dir/models.cc.o.d"
+  "CMakeFiles/sf_graph.dir/op.cc.o"
+  "CMakeFiles/sf_graph.dir/op.cc.o.d"
+  "CMakeFiles/sf_graph.dir/subgraphs.cc.o"
+  "CMakeFiles/sf_graph.dir/subgraphs.cc.o.d"
+  "libsf_graph.a"
+  "libsf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/lowering.cc" "src/schedule/CMakeFiles/sf_schedule.dir/lowering.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/lowering.cc.o.d"
+  "/root/repo/src/schedule/memory_planner.cc" "src/schedule/CMakeFiles/sf_schedule.dir/memory_planner.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/memory_planner.cc.o.d"
+  "/root/repo/src/schedule/partitioner.cc" "src/schedule/CMakeFiles/sf_schedule.dir/partitioner.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/partitioner.cc.o.d"
+  "/root/repo/src/schedule/pipeline.cc" "src/schedule/CMakeFiles/sf_schedule.dir/pipeline.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/pipeline.cc.o.d"
+  "/root/repo/src/schedule/resource_aware.cc" "src/schedule/CMakeFiles/sf_schedule.dir/resource_aware.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/resource_aware.cc.o.d"
+  "/root/repo/src/schedule/schedule_ir.cc" "src/schedule/CMakeFiles/sf_schedule.dir/schedule_ir.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/schedule_ir.cc.o.d"
+  "/root/repo/src/schedule/search_space.cc" "src/schedule/CMakeFiles/sf_schedule.dir/search_space.cc.o" "gcc" "src/schedule/CMakeFiles/sf_schedule.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slicing/CMakeFiles/sf_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smg/CMakeFiles/sf_smg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_schedule.dir/lowering.cc.o"
+  "CMakeFiles/sf_schedule.dir/lowering.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/memory_planner.cc.o"
+  "CMakeFiles/sf_schedule.dir/memory_planner.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/partitioner.cc.o"
+  "CMakeFiles/sf_schedule.dir/partitioner.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/pipeline.cc.o"
+  "CMakeFiles/sf_schedule.dir/pipeline.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/resource_aware.cc.o"
+  "CMakeFiles/sf_schedule.dir/resource_aware.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/schedule_ir.cc.o"
+  "CMakeFiles/sf_schedule.dir/schedule_ir.cc.o.d"
+  "CMakeFiles/sf_schedule.dir/search_space.cc.o"
+  "CMakeFiles/sf_schedule.dir/search_space.cc.o.d"
+  "libsf_schedule.a"
+  "libsf_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch.cc" "src/sim/CMakeFiles/sf_sim.dir/arch.cc.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/arch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/sf_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/sf_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/sf_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/memory_sim.cc" "src/sim/CMakeFiles/sf_sim.dir/memory_sim.cc.o" "gcc" "src/sim/CMakeFiles/sf_sim.dir/memory_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

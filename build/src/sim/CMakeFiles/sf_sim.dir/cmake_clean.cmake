@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/arch.cc.o"
+  "CMakeFiles/sf_sim.dir/arch.cc.o.d"
+  "CMakeFiles/sf_sim.dir/cache.cc.o"
+  "CMakeFiles/sf_sim.dir/cache.cc.o.d"
+  "CMakeFiles/sf_sim.dir/cost_model.cc.o"
+  "CMakeFiles/sf_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/sf_sim.dir/kernel.cc.o"
+  "CMakeFiles/sf_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/sf_sim.dir/memory_sim.cc.o"
+  "CMakeFiles/sf_sim.dir/memory_sim.cc.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_slicing.dir/dim_analysis.cc.o"
+  "CMakeFiles/sf_slicing.dir/dim_analysis.cc.o.d"
+  "CMakeFiles/sf_slicing.dir/slicers.cc.o"
+  "CMakeFiles/sf_slicing.dir/slicers.cc.o.d"
+  "CMakeFiles/sf_slicing.dir/update_functions.cc.o"
+  "CMakeFiles/sf_slicing.dir/update_functions.cc.o.d"
+  "libsf_slicing.a"
+  "libsf_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

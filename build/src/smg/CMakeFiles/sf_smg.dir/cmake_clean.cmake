@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_smg.dir/smg.cc.o"
+  "CMakeFiles/sf_smg.dir/smg.cc.o.d"
+  "CMakeFiles/sf_smg.dir/smg_builder.cc.o"
+  "CMakeFiles/sf_smg.dir/smg_builder.cc.o.d"
+  "libsf_smg.a"
+  "libsf_smg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_smg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_support.dir/logging.cc.o"
+  "CMakeFiles/sf_support.dir/logging.cc.o.d"
+  "CMakeFiles/sf_support.dir/status.cc.o"
+  "CMakeFiles/sf_support.dir/status.cc.o.d"
+  "CMakeFiles/sf_support.dir/string_util.cc.o"
+  "CMakeFiles/sf_support.dir/string_util.cc.o.d"
+  "libsf_support.a"
+  "libsf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_tensor.dir/shape.cc.o"
+  "CMakeFiles/sf_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/sf_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sf_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/sf_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/sf_tensor.dir/tensor_ops.cc.o.d"
+  "libsf_tensor.a"
+  "libsf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

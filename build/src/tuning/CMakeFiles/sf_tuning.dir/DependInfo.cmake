@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/tuner.cc" "src/tuning/CMakeFiles/sf_tuning.dir/tuner.cc.o" "gcc" "src/tuning/CMakeFiles/sf_tuning.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/sf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/sf_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/smg/CMakeFiles/sf_smg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_tuning.dir/tuner.cc.o"
+  "CMakeFiles/sf_tuning.dir/tuner.cc.o.d"
+  "libsf_tuning.a"
+  "libsf_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

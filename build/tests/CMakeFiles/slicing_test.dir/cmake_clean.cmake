@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_test.dir/slicing_test.cc.o"
+  "CMakeFiles/slicing_test.dir/slicing_test.cc.o.d"
+  "slicing_test"
+  "slicing_test.pdb"
+  "slicing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smg_test.dir/smg_test.cc.o"
+  "CMakeFiles/smg_test.dir/smg_test.cc.o.d"
+  "smg_test"
+  "smg_test.pdb"
+  "smg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
