@@ -71,5 +71,6 @@ void Run() {
 int main() {
   spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
   spacefusion::Run();
+  spacefusion::EmitBenchMetrics("fig13_mha");
   return 0;
 }

@@ -91,5 +91,6 @@ void Run() {
 int main() {
   spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
   spacefusion::Run();
+  spacefusion::EmitBenchMetrics("fig14_end_to_end");
   return 0;
 }

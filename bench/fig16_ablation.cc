@@ -121,5 +121,6 @@ int main() {
   spacefusion::RunAblation();
   spacefusion::RunInputSensitivity();
   spacefusion::RunArchSensitivity();
+  spacefusion::EmitBenchMetrics("fig16_ablation");
   return 0;
 }

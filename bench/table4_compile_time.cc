@@ -9,20 +9,14 @@
 //
 // Paper reference (A100): MHA(32,1024): scheduling ~20ms total, tuning
 // 33.04s, total 36.33s; MHA(32,256): tuning 29.55s, total 33.41s.
-#include <chrono>
-
 #include "bench/bench_util.h"
 #include "src/schedule/search_space.h"
+#include "src/support/string_util.h"
 #include "src/slicing/slicers.h"
 #include "src/tuning/tuner.h"
 
 namespace spacefusion {
 namespace {
-
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 void Run() {
   PrintHeader("Table 4: Compilation time breakdown for MHA (Ampere)");
@@ -36,18 +30,18 @@ void Run() {
     Graph g = BuildMha(32 * 12, seq, seq, 64);
 
     // SS phase.
-    auto t0 = std::chrono::steady_clock::now();
+    WallTimer timer;
     StatusOr<SmgBuildResult> built = BuildSmg(g);
     std::vector<DimId> spatial = SpatialSlicer::GetDims(built->smg);
-    double ss_ms = MsSince(t0);
+    double ss_ms = timer.ElapsedMs();
 
     // TS phase.
-    auto t1 = std::chrono::steady_clock::now();
+    timer.Reset();
     StatusOr<TemporalChoice> choice = TemporalSlicer::GetPriorDim(g, *built, spatial);
-    double ts_ms = MsSince(t1);
+    double ts_ms = timer.ElapsedMs();
 
     // Config enumeration.
-    auto t2 = std::chrono::steady_clock::now();
+    timer.Reset();
     SmgSchedule sched;
     sched.graph = g;
     sched.built = std::move(built).value();
@@ -61,7 +55,7 @@ void Run() {
     }
     std::vector<ScheduleConfig> configs =
         EnumerateConfigs(&sched, rc, /*include_temporal=*/true);
-    double enum_ms = MsSince(t2);
+    double enum_ms = timer.ElapsedMs();
 
     // Tuning: emulated on-GPU measurement time.
     SlicingResult result;
@@ -73,6 +67,10 @@ void Run() {
     double total_s = stats.simulated_tuning_seconds + (ss_ms + ts_ms + enum_ms) * 1e-3;
     char label[32];
     std::snprintf(label, sizeof(label), "MHA(32,%lld)", static_cast<long long>(seq));
+    RecordBenchValue(StrCat(label, ".scheduling_ms"), ss_ms + ts_ms + enum_ms);
+    RecordBenchValue(StrCat(label, ".tuning_s"), stats.simulated_tuning_seconds);
+    RecordBenchValue(StrCat(label, ".total_s"), total_s);
+    RecordBenchValue(StrCat(label, ".configs_tried"), stats.configs_tried);
     std::printf("%-16s %19.2f ms %9.2f ms %19.2f ms %10.2f s %10.2f s\n", label, ts_ms, enum_ms,
                 ss_ms, stats.simulated_tuning_seconds, total_s);
     std::printf("  (%d configs measured, %d early-quit; search space small enough to traverse"
@@ -89,5 +87,6 @@ void Run() {
 int main() {
   spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
   spacefusion::Run();
+  spacefusion::EmitBenchMetrics("table4_compile_time");
   return 0;
 }

@@ -105,5 +105,6 @@ void Run() {
 int main() {
   spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
   spacefusion::Run();
+  spacefusion::EmitBenchMetrics("table5_model_compile");
   return 0;
 }

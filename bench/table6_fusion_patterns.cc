@@ -205,5 +205,6 @@ void Run() {
 int main() {
   spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
   spacefusion::Run();
+  spacefusion::EmitBenchMetrics("table6_fusion_patterns");
   return 0;
 }

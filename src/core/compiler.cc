@@ -1,19 +1,13 @@
 #include "src/core/compiler.h"
 
-#include <chrono>
+#include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/schedule/lowering.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 
 namespace spacefusion {
-
-namespace {
-double ElapsedMs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-}  // namespace
 
 CompileOptions::CompileOptions() : arch(AmpereA100()) {}
 
@@ -26,64 +20,79 @@ StatusOr<CompiledSubprogram> Compiler::Compile(const Graph& graph) {
   std::uint64_t key = graph.StructuralHash();
   auto it = cache_.find(key);
   if (it != cache_.end()) {
+    SF_COUNTER_ADD("compiler.cache_hits", 1);
     return it->second;
   }
+  SF_COUNTER_ADD("compiler.cache_misses", 1);
   SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, CompileUncached(graph));
   cache_.emplace(key, compiled);
   return compiled;
 }
 
 StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
+  // All wall-clock accounting below is span-derived: the accumulator totals
+  // the spans this compile records (whether or not a trace session is
+  // capturing them).
+  PhaseAccumulator phases;
+  ScopedSpan compile_span("compiler.compile");
+  compile_span.Arg("graph", graph.name()).Arg("ops", static_cast<std::int64_t>(graph.ops().size()));
+  SF_COUNTER_ADD("compiler.subprograms_compiled", 1);
+
   SlicingOptions slicing;
   slicing.enable_temporal = options_.enable_temporal_slicing;
   slicing.search = options_.search;
 
-  // Program pre-processing: independent chains (e.g. the three projections
-  // of QKV) become their own fused SMGs; fusing them would build a fused
-  // space over unrelated dimensions.
-  auto t_slice = std::chrono::steady_clock::now();
-  std::vector<Graph> components = SplitConnectedComponents(graph);
-
-  // Concatenates per-graph pipelines into one candidate program.
-  auto compile_pieces = [&](const std::vector<Graph>& pieces) -> StatusOr<ProgramCandidate> {
-    ProgramCandidate candidate;
-    for (const Graph& piece : pieces) {
-      SF_ASSIGN_OR_RETURN(PipelineResult part, RunSlicingPipeline(piece, rc_, slicing));
-      for (SlicingResult& kernel : part.candidates.front().kernels) {
-        candidate.kernels.push_back(std::move(kernel));
-      }
-      candidate.partition_rounds += part.candidates.front().partition_rounds;
-    }
-    return candidate;
-  };
-
   PipelineResult pipeline;
-  if (components.size() == 1) {
-    SF_ASSIGN_OR_RETURN(pipeline, RunSlicingPipeline(graph, rc_, slicing));
-  } else {
-    SF_ASSIGN_OR_RETURN(ProgramCandidate fused, compile_pieces(components));
-    pipeline.candidates.push_back(std::move(fused));
-  }
-
-  // Sec. 5.3 candidate exploration: the maximally fused program competes
-  // against a conservatively split one (matmuls isolated, MI runs fused) —
-  // fusion across giant-weight GEMM chains is not always profitable, and
-  // the tuner decides by measurement.
   {
-    std::vector<Graph> split_pieces;
-    for (const Graph& component : components) {
-      for (Graph& piece : SplitAtComputeBoundaries(component)) {
-        split_pieces.push_back(std::move(piece));
+    ScopedSpan pipeline_span("compiler.pipeline");
+
+    // Program pre-processing: independent chains (e.g. the three projections
+    // of QKV) become their own fused SMGs; fusing them would build a fused
+    // space over unrelated dimensions.
+    std::vector<Graph> components = SplitConnectedComponents(graph);
+
+    // Concatenates per-graph pipelines into one candidate program.
+    auto compile_pieces = [&](const std::vector<Graph>& pieces) -> StatusOr<ProgramCandidate> {
+      ProgramCandidate candidate;
+      for (const Graph& piece : pieces) {
+        SF_ASSIGN_OR_RETURN(PipelineResult part, RunSlicingPipeline(piece, rc_, slicing));
+        for (SlicingResult& kernel : part.candidates.front().kernels) {
+          candidate.kernels.push_back(std::move(kernel));
+        }
+        candidate.partition_rounds += part.candidates.front().partition_rounds;
+      }
+      return candidate;
+    };
+
+    if (components.size() == 1) {
+      SF_ASSIGN_OR_RETURN(pipeline, RunSlicingPipeline(graph, rc_, slicing));
+    } else {
+      SF_ASSIGN_OR_RETURN(ProgramCandidate fused, compile_pieces(components));
+      pipeline.candidates.push_back(std::move(fused));
+    }
+
+    // Sec. 5.3 candidate exploration: the maximally fused program competes
+    // against a conservatively split one (matmuls isolated, MI runs fused) —
+    // fusion across giant-weight GEMM chains is not always profitable, and
+    // the tuner decides by measurement.
+    {
+      std::vector<Graph> split_pieces;
+      for (const Graph& component : components) {
+        for (Graph& piece : SplitAtComputeBoundaries(component)) {
+          split_pieces.push_back(std::move(piece));
+        }
+      }
+      if (split_pieces.size() > components.size()) {
+        StatusOr<ProgramCandidate> split = compile_pieces(split_pieces);
+        if (split.ok()) {
+          pipeline.candidates.push_back(std::move(split).value());
+        }
       }
     }
-    if (split_pieces.size() > components.size()) {
-      StatusOr<ProgramCandidate> split = compile_pieces(split_pieces);
-      if (split.ok()) {
-        pipeline.candidates.push_back(std::move(split).value());
-      }
-    }
+    pipeline_span.Arg("candidates", static_cast<std::int64_t>(pipeline.candidates.size()));
   }
-  double slicing_ms = ElapsedMs(t_slice);
+  SF_HISTOGRAM_OBSERVE("compiler.candidate_programs",
+                       static_cast<double>(pipeline.candidates.size()));
 
   // Every *discovered* fusion counts toward the pattern statistics, even if
   // tuning ultimately prefers another candidate program (Table 6 counts what
@@ -98,7 +107,6 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   CompiledSubprogram best;
   bool have_best = false;
   double total_tuning_s = 0.0;
-  double enum_ms = 0.0;
   int tried = 0;
 
   for (ProgramCandidate& candidate : pipeline.candidates) {
@@ -107,9 +115,6 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
     double candidate_time = 0.0;
     AddressMap addresses;
     for (SlicingResult& kernel : candidate.kernels) {
-      auto t_enum = std::chrono::steady_clock::now();
-      // (Search spaces were enumerated during slicing; account re-planning.)
-      enum_ms += ElapsedMs(t_enum);
       if (options_.enable_auto_scheduling) {
         TuningStats stats = TuneKernel(&kernel, cost_, rc_, options_.tuner);
         total_tuning_s += stats.simulated_tuning_seconds;
@@ -118,12 +123,20 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
       } else {
         ApplyExpertConfig(&kernel, rc_);
       }
-      KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
-      candidate_time += cost_.EstimateKernel(spec).time_us;
-      compiled.program.kernels.push_back(kernel.schedule);
-      compiled.kernels.push_back(std::move(spec));
+      {
+        ScopedSpan lower_span("compiler.lower");
+        lower_span.Arg("kernel", kernel.schedule.graph.name());
+        KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
+        candidate_time += cost_.EstimateKernel(spec).time_us;
+        compiled.program.kernels.push_back(kernel.schedule);
+        compiled.kernels.push_back(std::move(spec));
+      }
     }
-    compiled.estimate = cost_.Estimate(compiled.kernels);
+    {
+      ScopedSpan estimate_span("compiler.estimate", "simulate");
+      compiled.estimate = cost_.Estimate(compiled.kernels);
+      estimate_span.Arg("time_us", compiled.estimate.time_us);
+    }
     if (!have_best || compiled.estimate.time_us < best.estimate.time_us) {
       best = std::move(compiled);
       have_best = true;
@@ -131,16 +144,25 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   }
   SF_CHECK(have_best);
 
-  best.compile_time.slicing_ms = slicing_ms;
+  // Table 4's wall-clock columns, rebuilt from the span timings: the
+  // enumeration column is exactly the "search.enum_cfg" spans, and the
+  // slicing column is the rest of the slicing/partitioning pipeline.
+  double enum_ms = phases.TotalMs("search.enum_cfg");
+  double pipeline_ms = phases.TotalMs("compiler.pipeline");
+  best.compile_time.slicing_ms = std::max(0.0, pipeline_ms - enum_ms);
   best.compile_time.enum_cfg_ms = enum_ms;
   best.compile_time.tuning_s = total_tuning_s;
   best.tuning.configs_tried = tried;
   best.tuning.best_time_us = best.estimate.time_us;
   best.tuning.simulated_tuning_seconds = total_tuning_s;
+  compile_span.Arg("configs_tried", tried).Arg("best_us", best.estimate.time_us);
   return best;
 }
 
 StatusOr<CompiledModel> Compiler::CompileModel(const ModelGraph& model) {
+  ScopedSpan model_span("compiler.compile_model");
+  model_span.Arg("model", model.config.name)
+      .Arg("subprograms", static_cast<std::int64_t>(model.subprograms.size()));
   CompiledModel out;
   std::map<std::uint64_t, size_t> compiled_index;
   for (const Subprogram& sub : model.subprograms) {
@@ -156,9 +178,12 @@ StatusOr<CompiledModel> Compiler::CompileModel(const ModelGraph& model) {
       it = compiled_index.find(key);
     } else {
       ++out.cache_hits;
+      SF_COUNTER_ADD("compiler.cache_hits", 1);
     }
     out.total += out.unique_subprograms[it->second].estimate.Scaled(sub.repeat);
   }
+  model_span.Arg("cache_hits", out.cache_hits).Arg("total_us", out.total.time_us);
+  out.metrics = MetricsRegistry::Global().Snapshot();
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/graph/models.h"
+#include "src/obs/metrics.h"
 #include "src/schedule/pipeline.h"
 #include "src/sim/cost_model.h"
 #include "src/tuning/tuner.h"
@@ -34,7 +35,11 @@ struct CompileOptions {
   explicit CompileOptions(GpuArch a) : arch(std::move(a)) {}
 };
 
-// Compile-time breakdown of one subprogram (Table 4's columns).
+// Compile-time breakdown of one subprogram (Table 4's columns). The
+// wall-clock columns are derived from the trace spans recorded during the
+// compile (a PhaseAccumulator sums the "compiler.pipeline" and
+// "search.enum_cfg" spans), not from hand-threaded stopwatches, so they
+// stay consistent with what SPACEFUSION_TRACE captures.
 struct CompileTimeBreakdown {
   double slicing_ms = 0.0;    // TS.getPriorDim + TS.slice + SS.getDims + SS.slice
   double enum_cfg_ms = 0.0;   // search-space enumeration
@@ -58,6 +63,9 @@ struct CompiledModel {
   ExecutionReport total;
   CompileTimeBreakdown compile_time;
   int cache_hits = 0;  // repeated subprograms served from the compile cache
+  // Process-wide metrics, snapshotted when this model finished compiling
+  // (cumulative across every compile the process has run so far).
+  MetricsSnapshot metrics;
 };
 
 // Distinct fusion patterns discovered across compilations (Table 6).

@@ -1,10 +1,15 @@
 #include "src/core/model_runner.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace spacefusion {
 
 std::optional<ExecutionReport> EstimateGraphWithBaseline(const Graph& graph,
                                                          const Baseline& baseline,
                                                          const GpuArch& arch) {
+  ScopedSpan span("runner.estimate_baseline", "runner");
+  span.Arg("graph", graph.name()).Arg("baseline", baseline.name());
   if (!baseline.Supports(graph, arch)) {
     return std::nullopt;
   }
@@ -17,6 +22,8 @@ std::optional<ExecutionReport> EstimateGraphWithBaseline(const Graph& graph,
 std::optional<ExecutionReport> EstimateModelWithBaseline(const ModelGraph& model,
                                                          const Baseline& baseline,
                                                          const GpuArch& arch) {
+  ScopedSpan span("runner.estimate_model_baseline", "runner");
+  span.Arg("model", model.config.name).Arg("baseline", baseline.name());
   ExecutionReport total;
   CostModel cost(arch);
   for (const Subprogram& sub : model.subprograms) {
@@ -31,12 +38,16 @@ std::optional<ExecutionReport> EstimateModelWithBaseline(const ModelGraph& model
 }
 
 StatusOr<ExecutionReport> EstimateGraphWithSpaceFusion(const Graph& graph, const GpuArch& arch) {
+  ScopedSpan span("runner.estimate_spacefusion", "runner");
+  span.Arg("graph", graph.name());
   Compiler compiler{CompileOptions(arch)};
   SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, compiler.Compile(graph));
   return compiled.estimate;
 }
 
 ExecutionReport SimulateMemory(const std::vector<KernelSpec>& kernels, const GpuArch& arch) {
+  ScopedSpan span("runner.simulate_memory", "runner");
+  span.Arg("kernels", static_cast<std::int64_t>(kernels.size()));
   MemorySim sim(arch);
   return sim.Run(kernels);
 }

@@ -26,6 +26,8 @@
 #include "src/graph/builder.h"             // IWYU pragma: export
 #include "src/graph/models.h"              // IWYU pragma: export
 #include "src/graph/subgraphs.h"           // IWYU pragma: export
+#include "src/obs/metrics.h"               // IWYU pragma: export
+#include "src/obs/trace.h"                 // IWYU pragma: export
 #include "src/sim/arch.h"                  // IWYU pragma: export
 #include "src/sim/memory_sim.h"            // IWYU pragma: export
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 #include "src/tensor/tensor_ops.h"
@@ -77,12 +79,17 @@ Tensor FactorMultiplier(const UpdateFactor& factor, const Tensor& old_v, const T
 
 Status RunSchedule(const SmgSchedule& schedule, TensorEnv* env) {
   const Graph& graph = schedule.graph;
+  ScopedSpan span("exec.run_schedule", "exec");
+  span.Arg("kernel", graph.name());
+  SF_COUNTER_ADD("exec.kernel_launches", 1);
 
   if (!schedule.has_temporal || schedule.NumIntraBlocks() <= 1) {
     // No temporal loop: the fused kernel evaluates the dataflow once.
     RunReference(graph, env);
     return Status::Ok();
   }
+  span.Arg("temporal_steps", schedule.NumIntraBlocks());
+  SF_COUNTER_ADD("exec.temporal_steps", schedule.NumIntraBlocks());
 
   const SmgBuildResult& built = schedule.built;
   const DimId tdim = schedule.temporal.dim;
@@ -204,6 +211,9 @@ Status RunSchedule(const SmgSchedule& schedule, TensorEnv* env) {
 
 Status RunScheduledProgram(const ScheduledProgram& program, const Graph& original,
                            const TensorEnv& original_inputs, TensorEnv* final_outputs) {
+  ScopedSpan span("exec.run_program", "exec");
+  span.Arg("graph", original.name())
+      .Arg("kernels", static_cast<std::int64_t>(program.kernels.size()));
   std::map<std::string, Tensor> by_name;
   for (const TensorInfo& t : original.tensors()) {
     if (t.kind == TensorKind::kInput || t.kind == TensorKind::kWeight ||

@@ -1,0 +1,174 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Index of the first bucket whose upper bound (4^i) holds `value`.
+int BucketIndex(double value) {
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    if (value <= std::pow(4.0, i)) {
+      return i;
+    }
+  }
+  return Histogram::kNumBuckets - 1;
+}
+
+std::string FormatNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.bucket_counts.empty()) {
+    stats_.bucket_counts.assign(kNumBuckets, 0);
+  }
+  if (stats_.count == 0 || value < stats_.min) {
+    stats_.min = value;
+  }
+  if (stats_.count == 0 || value > stats_.max) {
+    stats_.max = value;
+  }
+  ++stats_.count;
+  stats_.sum += value;
+  ++stats_.bucket_counts[static_cast<size_t>(BucketIndex(value))];
+}
+
+HistogramStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats copy = stats_;
+  if (copy.bucket_counts.empty()) {
+    copy.bucket_counts.assign(kNumBuckets, 0);
+  }
+  return copy;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = HistogramStats();
+}
+
+std::int64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += StrCat("\"", name, "\":", value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += StrCat("\"", name, "\":", FormatNumber(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += StrCat("\"", name, "\":{\"count\":", h.count, ",\"sum\":", FormatNumber(h.sum),
+                  ",\"min\":", FormatNumber(h.min), ",\"max\":", FormatNumber(h.max),
+                  ",\"mean\":", FormatNumber(h.mean()), ",\"buckets\":[",
+                  StrJoin(h.bucket_counts, ","), "]}");
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: usable at exit
+  return *registry;
+}
+
+void MetricsRegistry::CheckKind(const std::string& name, Kind kind) {
+  auto [it, inserted] = kinds_.emplace(name, kind);
+  SF_CHECK(it->second == kind) << "metric " << name << " already registered as another kind";
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckKind(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckKind(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckKind(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->stats());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace spacefusion

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 
@@ -39,6 +41,8 @@ bool SegmentIsNonA2o(const Graph& graph, int begin, int end) {
 }
 
 std::pair<Graph, Graph> SplitGraph(const Graph& graph, int prefix_ops) {
+  SF_TRACE_SPAN("partition.split_graph", "partition");
+  SF_COUNTER_ADD("partition.graph_splits", 1);
   const int n = static_cast<int>(graph.ops().size());
   SF_CHECK_GT(prefix_ops, 0);
   SF_CHECK_LT(prefix_ops, n);
@@ -141,7 +145,10 @@ std::vector<Graph> SplitAtComputeBoundaries(const Graph& graph) {
 
 StatusOr<PartitionOutcome> PartitionOnce(const Graph& graph, const ResourceConfig& rc,
                                          const SlicingOptions& options) {
+  ScopedSpan span("partition.partition_once", "partition");
+  span.Arg("graph", graph.name());
   std::vector<int> cuts = SubSmgBoundaries(graph);
+  span.Arg("boundaries", static_cast<std::int64_t>(cuts.size()));
   if (cuts.empty()) {
     return Unschedulable(
         StrCat("SMG ", graph.name(), " cannot be partitioned further (single sub-SMG)"));

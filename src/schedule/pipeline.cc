@@ -1,5 +1,7 @@
 #include "src/schedule/pipeline.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 
@@ -13,11 +15,14 @@ namespace {
 // paper's experiments).
 Status CompileChain(const Graph& graph, const ResourceConfig& rc, const SlicingOptions& options,
                     ProgramCandidate* out, int* alt_cut, Graph* alt_graph) {
+  ScopedSpan chain_span("pipeline.compile_chain");
+  chain_span.Arg("graph", graph.name());
   Graph current = graph;
   for (int round = 0; round < 64; ++round) {
     StatusOr<SlicingResult> sliced = ResourceAwareSlicing(current, rc, options);
     if (sliced.ok()) {
       out->kernels.push_back(std::move(sliced).value());
+      chain_span.Arg("partition_rounds", out->partition_rounds);
       return Status::Ok();
     }
     if (sliced.status().code() != StatusCode::kUnschedulable) {
@@ -25,6 +30,7 @@ Status CompileChain(const Graph& graph, const ResourceConfig& rc, const SlicingO
     }
     SF_ASSIGN_OR_RETURN(PartitionOutcome part, PartitionOnce(current, rc, options));
     ++out->partition_rounds;
+    SF_COUNTER_ADD("pipeline.partition_rounds", 1);
     // Alternatives are only explored for the first cut; the rebuilt
     // candidate re-compiles the whole chain from that cut, so a later-round
     // alternative would discard the kernels already emitted before it.
@@ -35,6 +41,7 @@ Status CompileChain(const Graph& graph, const ResourceConfig& rc, const SlicingO
     }
     out->kernels.push_back(std::move(part.front));
     if (!part.has_rest) {
+      chain_span.Arg("partition_rounds", out->partition_rounds);
       return Status::Ok();
     }
     current = std::move(part.rest);
@@ -57,6 +64,8 @@ StatusOr<PipelineResult> RunSlicingPipeline(const Graph& graph, const ResourceCo
   // Sec. 5.3 candidate exploration: re-run with the alternative cut applied
   // up-front (the non-A2O sub-SMG joins the latter graph).
   if (alt_cut > 0) {
+    SF_TRACE_SPAN("pipeline.alternative_candidate");
+    SF_COUNTER_ADD("pipeline.alternative_candidates", 1);
     auto [front, back] = SplitGraph(alt_graph, alt_cut);
     StatusOr<SlicingResult> front_sliced = ResourceAwareSlicing(front, rc, options);
     if (front_sliced.ok()) {

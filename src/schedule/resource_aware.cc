@@ -1,5 +1,7 @@
 #include "src/schedule/resource_aware.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/slicing/slicers.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
@@ -8,7 +10,15 @@ namespace spacefusion {
 
 StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceConfig& rc,
                                              const SlicingOptions& options) {
-  SF_ASSIGN_OR_RETURN(SmgBuildResult built, BuildSmg(graph));
+  ScopedSpan slicing_span("slicing.resource_aware", "slicing");
+  slicing_span.Arg("graph", graph.name());
+
+  SmgBuildResult built;
+  {
+    SF_TRACE_SPAN("slicing.build_smg", "slicing");
+    SF_ASSIGN_OR_RETURN(built, BuildSmg(graph));
+  }
+  SF_COUNTER_ADD("slicing.smgs_built", 1);
 
   SlicingResult result;
   result.schedule.graph = graph;
@@ -16,28 +26,37 @@ StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceC
   SmgSchedule& sched = result.schedule;
 
   // --- Spatial slicing (Alg. 1 lines 3-8) --------------------------------
-  std::vector<DimId> spatial_dims = SpatialSlicer::GetDims(sched.built.smg);
-  if (spatial_dims.empty()) {
-    return Unschedulable(
-        StrCat("SMG ", graph.name(), " has no spatially sliceable dim; cannot parallelize"));
-  }
-  for (DimId d : spatial_dims) {
-    DimSlice s;
-    s.dim = d;
-    s.block = 1;
-    sched.spatial.push_back(s);
-  }
+  {
+    SF_TRACE_SPAN("slicing.spatial", "slicing");
+    std::vector<DimId> spatial_dims = SpatialSlicer::GetDims(sched.built.smg);
+    if (spatial_dims.empty()) {
+      SF_COUNTER_ADD("slicing.unschedulable", 1);
+      return Unschedulable(
+          StrCat("SMG ", graph.name(), " has no spatially sliceable dim; cannot parallelize"));
+    }
+    for (DimId d : spatial_dims) {
+      DimSlice s;
+      s.dim = d;
+      s.block = 1;
+      sched.spatial.push_back(s);
+    }
 
-  std::vector<ScheduleConfig> spatial_configs =
-      EnumerateConfigs(&sched, rc, /*include_temporal=*/false, options.search);
-  for (ScheduleConfig& c : spatial_configs) {
-    result.configs.push_back(std::move(c));
+    std::vector<ScheduleConfig> spatial_configs =
+        EnumerateConfigs(&sched, rc, /*include_temporal=*/false, options.search);
+    for (ScheduleConfig& c : spatial_configs) {
+      result.configs.push_back(std::move(c));
+    }
   }
 
   // --- Temporal slicing (Alg. 1 lines 9-14) ------------------------------
   // Attempted whether or not spatial slicing alone met the resource bounds:
   // some SMGs only become efficient (or feasible at all) once serialized.
   if (options.enable_temporal) {
+    SF_TRACE_SPAN("slicing.temporal", "slicing");
+    std::vector<DimId> spatial_dims;
+    for (const DimSlice& s : sched.spatial) {
+      spatial_dims.push_back(s.dim);
+    }
     StatusOr<TemporalChoice> choice =
         TemporalSlicer::GetPriorDim(graph, sched.built, spatial_dims, options.allow_uta);
     if (choice.ok()) {
@@ -52,8 +71,10 @@ StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceC
       }
     }
   }
+  slicing_span.Arg("configs", static_cast<std::int64_t>(result.configs.size()));
 
   if (result.configs.empty()) {
+    SF_COUNTER_ADD("slicing.unschedulable", 1);
     return Unschedulable(StrCat("SMG ", graph.name(),
                                 " exceeds hardware resource bounds under every enumerated "
                                 "configuration"));

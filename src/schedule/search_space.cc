@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/slicing/dim_analysis.h"
 #include "src/support/math_util.h"
 
@@ -49,6 +51,10 @@ std::vector<std::int64_t> TemporalCandidates(const Smg& smg, DimId dim, std::int
 std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const ResourceConfig& rc,
                                              bool include_temporal,
                                              const SearchOptions& options) {
+  // The span name is load-bearing: the compiler's Table 4 "enumCfg" column
+  // is the accumulated duration of "search.enum_cfg" spans.
+  ScopedSpan span("search.enum_cfg", "search");
+  span.Arg("graph", schedule->graph.name()).Arg("temporal", include_temporal ? 1 : 0);
   const Smg& smg = schedule->built.smg;
 
   std::vector<std::vector<std::int64_t>> per_dim;
@@ -82,6 +88,9 @@ std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const Resour
       if (CheckResources(*schedule, rc)) {
         feasible.push_back(config);
         if (static_cast<int>(feasible.size()) >= options.max_configs) {
+          span.Arg("configs", static_cast<std::int64_t>(feasible.size())).Arg("capped", 1);
+          SF_COUNTER_ADD("search.configs_enumerated", static_cast<std::int64_t>(feasible.size()));
+          SF_HISTOGRAM_OBSERVE("search.configs_per_kernel", static_cast<double>(feasible.size()));
           return feasible;
         }
       }
@@ -99,6 +108,9 @@ std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const Resour
       break;
     }
   }
+  span.Arg("configs", static_cast<std::int64_t>(feasible.size()));
+  SF_COUNTER_ADD("search.configs_enumerated", static_cast<std::int64_t>(feasible.size()));
+  SF_HISTOGRAM_OBSERVE("search.configs_per_kernel", static_cast<double>(feasible.size()));
   return feasible;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 #include "src/support/math_util.h"
 
@@ -39,6 +41,9 @@ std::int64_t CostModel::DramReadBytes(const TensorTraffic& read, std::int64_t gr
 }
 
 KernelCost CostModel::EstimateKernel(const KernelSpec& kernel) const {
+  // The tuner calls this once per candidate config: a counter is cheap
+  // enough for that loop, a span is not.
+  SF_COUNTER_ADD("sim.kernels_estimated", 1);
   KernelCost cost;
 
   int bps = BlocksPerSm(kernel);
@@ -92,6 +97,7 @@ KernelCost CostModel::EstimateKernel(const KernelSpec& kernel) const {
 }
 
 ExecutionReport CostModel::Estimate(const std::vector<KernelSpec>& kernels) const {
+  ScopedSpan span("sim.cost_estimate", "simulate");
   ExecutionReport report;
   for (const KernelSpec& k : kernels) {
     KernelCost cost = EstimateKernel(k);
@@ -100,6 +106,11 @@ ExecutionReport CostModel::Estimate(const std::vector<KernelSpec>& kernels) cons
     report.flops += k.flops;
     ++report.kernel_count;
   }
+  SF_COUNTER_ADD("sim.kernel_launches_estimated", report.kernel_count);
+  SF_COUNTER_ADD("sim.dram_bytes_estimated", report.dram_bytes);
+  span.Arg("kernels", report.kernel_count)
+      .Arg("time_us", report.time_us)
+      .Arg("dram_bytes", report.dram_bytes);
   return report;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/math_util.h"
 
 namespace spacefusion {
@@ -11,6 +13,7 @@ MemorySim::MemorySim(GpuArch arch)
     : arch_(std::move(arch)), l2_(arch_.l2_bytes, arch_.cache_line_bytes, arch_.l2_assoc) {}
 
 ExecutionReport MemorySim::Run(const std::vector<KernelSpec>& kernels) {
+  ScopedSpan span("sim.memory_sim", "simulate");
   l2_.Reset();
   ExecutionReport report;
   for (const KernelSpec& k : kernels) {
@@ -18,10 +21,22 @@ ExecutionReport MemorySim::Run(const std::vector<KernelSpec>& kernels) {
     ++report.kernel_count;
     report.flops += k.flops;
   }
+  SF_COUNTER_ADD("sim.dram_bytes_simulated", report.dram_bytes);
+  if (report.l1_accesses > 0) {
+    SF_GAUGE_SET("sim.l1_hit_rate", 1.0 - static_cast<double>(report.l1_misses) /
+                                              static_cast<double>(report.l1_accesses));
+  }
+  if (report.l2_accesses > 0) {
+    SF_GAUGE_SET("sim.l2_hit_rate", 1.0 - static_cast<double>(report.l2_misses) /
+                                              static_cast<double>(report.l2_accesses));
+  }
+  span.Arg("kernels", report.kernel_count).Arg("dram_bytes", report.dram_bytes);
   return report;
 }
 
 void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
+  ScopedSpan span("sim.memory_sim_kernel", "simulate");
+  span.Arg("grid", kernel.grid);
   const int line = arch_.cache_line_bytes;
 
   // Estimated L1-line accesses for the whole kernel; sample blocks if the

@@ -1,6 +1,7 @@
 #include "src/support/logging.h"
 
 #include <atomic>
+#include <cstdio>
 
 namespace spacefusion {
 
@@ -39,10 +40,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
+  // The whole line (newline included) goes out in one fwrite, so messages
+  // logged concurrently from multiple threads cannot interleave mid-line.
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
   if (level_ == LogLevel::kFatal) {
-    std::cerr.flush();
+    std::fflush(stderr);
     std::abort();
   }
 }

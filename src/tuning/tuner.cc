@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/schedule/lowering.h"
 #include "src/support/logging.h"
 
@@ -9,6 +11,9 @@ namespace spacefusion {
 
 TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
                        const TunerOptions& options) {
+  ScopedSpan span("tuner.measure", "tuning");
+  span.Arg("kernel", result->schedule.graph.name())
+      .Arg("search_space", static_cast<std::int64_t>(result->configs.size()));
   TuningStats stats;
   const ScheduleConfig* best = nullptr;
   double best_time = 0.0;
@@ -47,10 +52,20 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
   result->schedule.ApplyConfig(*best);
   PlanMemory(&result->schedule, rc);
   stats.best_time_us = best_time;
+
+  SF_COUNTER_ADD("tuner.configs_tried", stats.configs_tried);
+  SF_COUNTER_ADD("tuner.configs_early_quit", stats.configs_early_quit);
+  SF_HISTOGRAM_OBSERVE("tuner.kernel_best_us", stats.best_time_us);
+  span.Arg("configs_tried", stats.configs_tried)
+      .Arg("early_quit", stats.configs_early_quit)
+      .Arg("best_us", stats.best_time_us)
+      .Arg("simulated_s", stats.simulated_tuning_seconds);
   return stats;
 }
 
 void ApplyExpertConfig(SlicingResult* result, const ResourceConfig& rc) {
+  SF_TRACE_SPAN("tuner.expert_config", "tuning");
+  SF_COUNTER_ADD("tuner.expert_configs_applied", 1);
   // Expert knowledge default: 64-wide tiles and a 64-element temporal step,
   // or the nearest feasible config.
   const ScheduleConfig* best = nullptr;

@@ -1,0 +1,595 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/spacefusion.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace spacefusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker, enough to prove the emitted trace / metrics
+// documents are well-formed (objects, arrays, strings with escapes, numbers,
+// bools, null). Chrome refuses malformed traces silently, so the tests
+// validate the whole document, not just substrings.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character: must be escaped
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void SpinFor(std::chrono::microseconds duration) {
+  auto end = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TraceTest, DisabledByDefaultAndSpansAreNoOps) {
+  EXPECT_FALSE(TracingEnabled());
+  // Spans (and their args) outside any session or accumulator must not
+  // record or crash.
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span("noop.span");
+    span.Arg("i", i);
+    EXPECT_FALSE(span.active());
+  }
+}
+
+TEST(TraceTest, SessionCapturesSpansWithNames) {
+  TraceSession session;
+  EXPECT_TRUE(TracingEnabled());
+  {
+    SF_TRACE_SPAN("test.alpha");
+    SpinFor(std::chrono::microseconds(100));
+  }
+  {
+    SF_TRACE_SPAN("test.beta", "custom_cat");
+  }
+  ASSERT_TRUE(session.Stop().ok());
+  EXPECT_FALSE(TracingEnabled());
+
+  ASSERT_EQ(session.events().size(), 2u);
+  EXPECT_EQ(session.events()[0].name, "test.alpha");
+  EXPECT_EQ(session.events()[0].cat, "compile");
+  EXPECT_GT(session.events()[0].dur_us, 0.0);
+  EXPECT_EQ(session.events()[1].name, "test.beta");
+  EXPECT_EQ(session.events()[1].cat, "custom_cat");
+}
+
+TEST(TraceTest, NestedSpansHaveContainedTimestamps) {
+  TraceSession session;
+  {
+    ScopedSpan outer("test.outer");
+    SpinFor(std::chrono::microseconds(50));
+    {
+      ScopedSpan inner("test.inner");
+      SpinFor(std::chrono::microseconds(50));
+    }
+    SpinFor(std::chrono::microseconds(50));
+  }
+  ASSERT_TRUE(session.Stop().ok());
+
+  // Spans finish inner-first.
+  ASSERT_EQ(session.events().size(), 2u);
+  const TraceEvent& inner = session.events()[0];
+  const TraceEvent& outer = session.events()[1];
+  EXPECT_EQ(inner.name, "test.inner");
+  EXPECT_EQ(outer.name, "test.outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Chrome reconstructs nesting from containment: inner must start no
+  // earlier and end no later than outer.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  EXPECT_LT(inner.dur_us, outer.dur_us);
+}
+
+TEST(TraceTest, SpanArgsAreTypedAndEscaped) {
+  TraceSession session;
+  {
+    ScopedSpan span("test.args");
+    span.Arg("count", std::int64_t{42})
+        .Arg("ratio", 0.5)
+        .Arg("label", std::string("quote\" backslash\\ newline\n"));
+  }
+  ASSERT_TRUE(session.Stop().ok());
+
+  ASSERT_EQ(session.events().size(), 1u);
+  ASSERT_EQ(session.events()[0].args.size(), 3u);
+  EXPECT_EQ(session.events()[0].args[0].json_value, "42");
+  EXPECT_EQ(session.events()[0].args[1].json_value, "0.5");
+
+  std::string json = session.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(TraceTest, ToJsonIsValidChromeTraceShape) {
+  TraceSession session;
+  {
+    SF_TRACE_SPAN("test.one");
+    SF_TRACE_SPAN("test.two");
+  }
+  ASSERT_TRUE(session.Stop().ok());
+
+  std::string json = session.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // The complete-event fields Chrome/Perfetto require.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+TEST(TraceTest, EmptySessionStillSerializes) {
+  TraceSession session;
+  ASSERT_TRUE(session.Stop().ok());
+  EXPECT_TRUE(session.events().empty());
+  EXPECT_TRUE(JsonChecker(session.ToJson()).Valid());
+}
+
+TEST(TraceTest, SessionWritesFile) {
+  std::string path = testing::TempDir() + "/spacefusion_session.trace.json";
+  {
+    TraceSession session(path);
+    SF_TRACE_SPAN("test.file_span");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("test.file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EnvVariableActivatesTracing) {
+  std::string path = testing::TempDir() + "/spacefusion_env.trace.json";
+  ASSERT_EQ(setenv("SPACEFUSION_TRACE", path.c_str(), /*overwrite=*/1), 0);
+  ASSERT_TRUE(StartTraceFromEnv());
+  EXPECT_TRUE(TracingEnabled());
+  {
+    SF_TRACE_SPAN("test.env_span");
+  }
+  ASSERT_TRUE(FlushEnvTrace().ok());
+  EXPECT_FALSE(TracingEnabled());
+  ASSERT_EQ(unsetenv("SPACEFUSION_TRACE"), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(buffer.str()).Valid());
+  EXPECT_NE(buffer.str().find("test.env_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EnvActivationIgnoredWhenUnset) {
+  unsetenv("SPACEFUSION_TRACE");
+  EXPECT_FALSE(StartTraceFromEnv());
+  EXPECT_TRUE(FlushEnvTrace().ok());  // nothing active: no-op
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsGetDistinctTids) {
+  TraceSession session;
+  std::thread t1([] { SF_TRACE_SPAN("test.thread"); });
+  std::thread t2([] { SF_TRACE_SPAN("test.thread"); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(session.Stop().ok());
+  ASSERT_EQ(session.events().size(), 2u);
+  EXPECT_NE(session.events()[0].tid, session.events()[1].tid);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseAccumulator
+
+TEST(PhaseAccumulatorTest, SumsSpansByExactNameWithoutSession) {
+  ASSERT_FALSE(TracingEnabled());
+  PhaseAccumulator phases;
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("phase.work");
+    SpinFor(std::chrono::microseconds(200));
+  }
+  {
+    SF_TRACE_SPAN("phase.other");
+  }
+  EXPECT_EQ(phases.SpanCount("phase.work"), 3);
+  EXPECT_EQ(phases.SpanCount("phase.other"), 1);
+  EXPECT_EQ(phases.SpanCount("phase.absent"), 0);
+  EXPECT_GT(phases.TotalMs("phase.work"), 0.0);
+  EXPECT_EQ(phases.TotalMs("phase.absent"), 0.0);
+}
+
+TEST(PhaseAccumulatorTest, NestedAccumulatorsBothObserve) {
+  PhaseAccumulator outer;
+  {
+    PhaseAccumulator inner;
+    SF_TRACE_SPAN("phase.nested");
+  }
+  // The span completed while both accumulators were open.
+  EXPECT_EQ(outer.SpanCount("phase.nested"), 1);
+  // After the inner accumulator closes, new spans only reach the outer one.
+  {
+    SF_TRACE_SPAN("phase.after");
+  }
+  EXPECT_EQ(outer.SpanCount("phase.after"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CounterArithmetic) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(MetricsTest, CounterIsThreadSafe) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  Gauge gauge;
+  gauge.Set(0.25);
+  gauge.Set(0.75);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.75);
+}
+
+TEST(MetricsTest, HistogramArithmetic) {
+  Histogram histogram;
+  histogram.Observe(1.0);
+  histogram.Observe(3.0);
+  histogram.Observe(100.0);
+  HistogramStats stats = histogram.stats();
+  EXPECT_EQ(stats.count, 3);
+  EXPECT_DOUBLE_EQ(stats.sum, 104.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_NEAR(stats.mean(), 104.0 / 3.0, 1e-12);
+
+  // Bucket bounds are 4^i: 1.0 -> bucket 0, 3.0 -> bucket 1 (<=4),
+  // 100.0 -> bucket 4 (<=256).
+  ASSERT_EQ(stats.bucket_counts.size(), static_cast<size_t>(Histogram::kNumBuckets));
+  EXPECT_EQ(stats.bucket_counts[0], 1);
+  EXPECT_EQ(stats.bucket_counts[1], 1);
+  EXPECT_EQ(stats.bucket_counts[4], 1);
+  std::int64_t total = 0;
+  for (std::int64_t b : stats.bucket_counts) {
+    total += b;
+  }
+  EXPECT_EQ(total, stats.count);
+}
+
+TEST(MetricsTest, HistogramOverflowBucket) {
+  Histogram histogram;
+  histogram.Observe(1e12);  // beyond the largest finite bound
+  HistogramStats stats = histogram.stats();
+  EXPECT_EQ(stats.bucket_counts.back(), 1);
+}
+
+TEST(MetricsTest, EmptyHistogramStats) {
+  Histogram histogram;
+  HistogramStats stats = histogram.stats();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.bucket_counts.size(), static_cast<size_t>(Histogram::kNumBuckets));
+}
+
+TEST(MetricsTest, RegistryFindsSameMetricByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("obs_test.same_counter");
+  Counter& b = registry.GetCounter("obs_test.same_counter");
+  EXPECT_EQ(&a, &b);
+  a.Increment(7);
+  EXPECT_EQ(b.value(), 7);
+  a.Reset();
+}
+
+TEST(MetricsTest, ResetZeroesInPlaceKeepingReferencesValid) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("obs_test.reset_counter");
+  Gauge& gauge = registry.GetGauge("obs_test.reset_gauge");
+  Histogram& histogram = registry.GetHistogram("obs_test.reset_histogram");
+  counter.Increment(5);
+  gauge.Set(2.5);
+  histogram.Observe(1.0);
+
+  registry.Reset();
+
+  // The SF_COUNTER_ADD-style cached references must still be the live
+  // objects after Reset.
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.stats().count, 0);
+  counter.Increment();
+  EXPECT_EQ(registry.Snapshot().counter("obs_test.reset_counter"), 1);
+  counter.Reset();
+}
+
+TEST(MetricsTest, SnapshotJsonIsValid) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.snap_counter").Increment(3);
+  registry.GetGauge("obs_test.snap_gauge").Set(0.5);
+  registry.GetHistogram("obs_test.snap_histogram").Observe(2.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("obs_test.snap_counter"), 3);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("obs_test.snap_gauge"), 0.5);
+  EXPECT_EQ(snapshot.counter("obs_test.does_not_exist"), 0);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.snap_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.snap_histogram\""), std::string::npos);
+}
+
+TEST(MetricsTest, MacrosRecordIntoGlobalRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::int64_t before = registry.Snapshot().counter("obs_test.macro_counter");
+  SF_COUNTER_ADD("obs_test.macro_counter", 2);
+  SF_GAUGE_SET("obs_test.macro_gauge", 9.0);
+  SF_HISTOGRAM_OBSERVE("obs_test.macro_histogram", 5.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("obs_test.macro_counter"), before + 2);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("obs_test.macro_gauge"), 9.0);
+  EXPECT_GE(snapshot.histograms.at("obs_test.macro_histogram").count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the instrumented compiler feeds spans and metrics
+
+TEST(ObsIntegrationTest, CompileRecordsPhaseSpansAndMetrics) {
+  MetricsRegistry::Global().Reset();
+  TraceSession session;
+
+  Graph mha = BuildMha(/*batch_heads=*/4, /*seq_q=*/128, /*seq_kv=*/128, /*head_dim=*/64);
+  Compiler compiler{CompileOptions(AmpereA100())};
+  StatusOr<CompiledSubprogram> compiled = compiler.Compile(mha);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_TRUE(session.Stop().ok());
+
+  // The acceptance phases all appear in the trace.
+  std::set<std::string> names;
+  for (const TraceEvent& e : session.events()) {
+    names.insert(e.name);
+  }
+  for (const char* required :
+       {"compiler.compile", "compiler.pipeline", "slicing.resource_aware", "slicing.spatial",
+        "search.enum_cfg", "tuner.measure", "compiler.lower", "sim.cost_estimate"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span " << required;
+  }
+  EXPECT_TRUE(JsonChecker(session.ToJson()).Valid());
+
+  // CompileTimeBreakdown is span-derived and self-consistent.
+  EXPECT_GE(compiled->compile_time.slicing_ms, 0.0);
+  EXPECT_GE(compiled->compile_time.enum_cfg_ms, 0.0);
+  EXPECT_GT(compiled->compile_time.slicing_ms + compiled->compile_time.enum_cfg_ms, 0.0);
+  EXPECT_GT(compiled->compile_time.tuning_s, 0.0);
+  EXPECT_GE(compiled->compile_time.total_s(), compiled->compile_time.tuning_s);
+
+  // And the metrics registry saw the same compile.
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("compiler.subprograms_compiled"), 1);
+  EXPECT_EQ(snapshot.counter("tuner.configs_tried"), compiled->tuning.configs_tried);
+  EXPECT_GT(snapshot.counter("search.configs_enumerated"), 0);
+  EXPECT_GT(snapshot.counter("sim.kernels_estimated"), 0);
+}
+
+TEST(ObsIntegrationTest, CompileCacheHitsAreCounted) {
+  MetricsRegistry::Global().Reset();
+  Graph mha = BuildMha(4, 64, 64, 64);
+  Compiler compiler{CompileOptions(AmpereA100())};
+  ASSERT_TRUE(compiler.Compile(mha).ok());
+  ASSERT_TRUE(compiler.Compile(mha).ok());  // structural-hash cache hit
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("compiler.cache_misses"), 1);
+  EXPECT_EQ(snapshot.counter("compiler.cache_hits"), 1);
+}
+
+TEST(ObsIntegrationTest, CompiledModelCarriesMetricsSnapshot) {
+  MetricsRegistry::Global().Reset();
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, /*batch=*/1, /*seq=*/64));
+  Compiler compiler{CompileOptions(AmpereA100())};
+  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_GT(compiled->metrics.counter("compiler.subprograms_compiled"), 0);
+  EXPECT_GT(compiled->metrics.counter("tuner.configs_tried"), 0);
+  EXPECT_TRUE(JsonChecker(compiled->metrics.ToJson()).Valid());
+}
+
+}  // namespace
+}  // namespace spacefusion

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "src/support/logging.h"
 #include "src/support/math_util.h"
 #include "src/support/status.h"
@@ -118,10 +121,64 @@ TEST(LoggingTest, ThresholdControlsEmission) {
   LogLevel old = GetLogThreshold();
   SetLogThreshold(LogLevel::kError);
   EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
-  // Below-threshold logging must not crash (and must not evaluate into the
-  // void-cast branch incorrectly).
-  SF_LOG(Info) << "suppressed";
-  SF_LOG(Error) << "emitted (expected in test output)";
+
+  testing::internal::CaptureStderr();
+  SF_LOG(Info) << "suppressed-info";
+  SF_LOG(Warning) << "suppressed-warning";
+  SF_LOG(Error) << "emitted-error";
+  std::string captured = testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(captured.find("suppressed-info"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed-warning"), std::string::npos);
+  EXPECT_NE(captured.find("emitted-error"), std::string::npos);
+  SetLogThreshold(old);
+}
+
+TEST(LoggingTest, MessagesAtOrAboveThresholdAreEmitted) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kDebug);
+
+  testing::internal::CaptureStderr();
+  SF_LOG(Debug) << "debug-visible";
+  SF_LOG(Info) << "info-visible";
+  std::string captured = testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(captured.find("debug-visible"), std::string::npos);
+  EXPECT_NE(captured.find("info-visible"), std::string::npos);
+  SetLogThreshold(old);
+}
+
+TEST(LoggingTest, LineHasPrefixAndSingleTrailingNewline) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kInfo);
+
+  testing::internal::CaptureStderr();
+  SF_LOG(Warning) << "format-probe";
+  std::string captured = testing::internal::GetCapturedStderr();
+
+  // "[W support_test.cc:NN] format-probe\n" — severity tag, basename (no
+  // directories), and exactly one newline terminating the line.
+  EXPECT_EQ(captured.find("[W support_test.cc:"), 0u);
+  EXPECT_NE(captured.find("] format-probe\n"), std::string::npos);
+  EXPECT_EQ(captured.find('/'), std::string::npos);
+  ASSERT_FALSE(captured.empty());
+  EXPECT_EQ(captured.back(), '\n');
+  EXPECT_EQ(std::count(captured.begin(), captured.end(), '\n'), 1);
+  SetLogThreshold(old);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotEvaluateStreamOperands) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  SF_LOG(Info) << count();
+  EXPECT_EQ(evaluations, 0);
+  SF_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
   SetLogThreshold(old);
 }
 
