@@ -1,11 +1,13 @@
 #include "src/core/compiler.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/obs/trace.h"
 #include "src/schedule/lowering.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
+#include "src/support/thread_pool.h"
 
 namespace spacefusion {
 
@@ -51,15 +53,31 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
     // space over unrelated dimensions.
     std::vector<Graph> components = SplitConnectedComponents(graph);
 
-    // Concatenates per-graph pipelines into one candidate program.
+    // Concatenates per-graph pipelines into one candidate program. The
+    // pieces are independent subgraphs, so their pipelines run concurrently
+    // into indexed slots; the merge (and error selection) walks the slots
+    // in piece order, keeping the result identical to the serial loop.
     auto compile_pieces = [&](const std::vector<Graph>& pieces) -> StatusOr<ProgramCandidate> {
+      std::vector<std::optional<StatusOr<PipelineResult>>> parts(pieces.size());
+      PhaseAccumulator* phase_stack = obs_internal::CurrentPhaseAccumulator();
+      GlobalThreadPool().ParallelFor(
+          static_cast<std::int64_t>(pieces.size()),
+          [&, phase_stack](std::int64_t begin, std::int64_t end) {
+            ScopedPhaseHandoff handoff(phase_stack);
+            for (std::int64_t i = begin; i < end; ++i) {
+              parts[static_cast<size_t>(i)] =
+                  RunSlicingPipeline(pieces[static_cast<size_t>(i)], rc_, slicing);
+            }
+          });
       ProgramCandidate candidate;
-      for (const Graph& piece : pieces) {
-        SF_ASSIGN_OR_RETURN(PipelineResult part, RunSlicingPipeline(piece, rc_, slicing));
-        for (SlicingResult& kernel : part.candidates.front().kernels) {
+      for (std::optional<StatusOr<PipelineResult>>& part : parts) {
+        if (!part->ok()) {
+          return part->status();
+        }
+        for (SlicingResult& kernel : part->value().candidates.front().kernels) {
           candidate.kernels.push_back(std::move(kernel));
         }
-        candidate.partition_rounds += part.candidates.front().partition_rounds;
+        candidate.partition_rounds += part->value().candidates.front().partition_rounds;
       }
       return candidate;
     };
@@ -114,23 +132,42 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
     compiled.candidate_programs = static_cast<int>(pipeline.candidates.size());
     double candidate_time = 0.0;
     AddressMap addresses;
-    for (SlicingResult& kernel : candidate.kernels) {
-      if (options_.enable_auto_scheduling) {
-        TuningStats stats = TuneKernel(&kernel, cost_, rc_, options_.tuner);
+    if (options_.enable_auto_scheduling) {
+      // The candidate's kernels are independent SMG blocks: tune them
+      // concurrently (each TuneKernel further parallelizes its config sweep
+      // when it lands on the caller), then fold the stats in kernel order
+      // so the totals are deterministic.
+      std::vector<TuningStats> kernel_stats(candidate.kernels.size());
+      PhaseAccumulator* phase_stack = obs_internal::CurrentPhaseAccumulator();
+      GlobalThreadPool().ParallelFor(
+          static_cast<std::int64_t>(candidate.kernels.size()),
+          [&, phase_stack](std::int64_t begin, std::int64_t end) {
+            ScopedPhaseHandoff handoff(phase_stack);
+            for (std::int64_t i = begin; i < end; ++i) {
+              kernel_stats[static_cast<size_t>(i)] =
+                  TuneKernel(&candidate.kernels[static_cast<size_t>(i)], cost_, rc_,
+                             options_.tuner, &cost_cache_);
+            }
+          });
+      for (const TuningStats& stats : kernel_stats) {
         total_tuning_s += stats.simulated_tuning_seconds;
         tried += stats.configs_tried;
         compiled.tuning.configs_early_quit += stats.configs_early_quit;
-      } else {
+      }
+    } else {
+      for (SlicingResult& kernel : candidate.kernels) {
         ApplyExpertConfig(&kernel, rc_);
       }
-      {
-        ScopedSpan lower_span("compiler.lower");
-        lower_span.Arg("kernel", kernel.schedule.graph.name());
-        KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
-        candidate_time += cost_.EstimateKernel(spec).time_us;
-        compiled.program.kernels.push_back(kernel.schedule);
-        compiled.kernels.push_back(std::move(spec));
-      }
+    }
+    // Lowering stays serial: the AddressMap threads stable simulated
+    // addresses through the kernels in execution order.
+    for (SlicingResult& kernel : candidate.kernels) {
+      ScopedSpan lower_span("compiler.lower");
+      lower_span.Arg("kernel", kernel.schedule.graph.name());
+      KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
+      candidate_time += cost_.EstimateKernel(spec).time_us;
+      compiled.program.kernels.push_back(kernel.schedule);
+      compiled.kernels.push_back(std::move(spec));
     }
     {
       ScopedSpan estimate_span("compiler.estimate", "simulate");

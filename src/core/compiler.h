@@ -16,6 +16,7 @@
 #include "src/graph/models.h"
 #include "src/obs/metrics.h"
 #include "src/schedule/pipeline.h"
+#include "src/sim/cost_cache.h"
 #include "src/sim/cost_model.h"
 #include "src/tuning/tuner.h"
 
@@ -99,6 +100,9 @@ class Compiler {
   CompileOptions options_;
   ResourceConfig rc_;
   CostModel cost_;
+  // Memoizes per-config cost evaluations across kernels, candidates, and
+  // subprograms of this compiler (hit/miss counters: cost_cache.*).
+  CostCache cost_cache_;
   std::map<std::uint64_t, CompiledSubprogram> cache_;
   FusionPatternStats fusion_stats_;
   std::map<std::uint64_t, bool> seen_patterns_;

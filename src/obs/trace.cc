@@ -139,6 +139,7 @@ void RecordSpan(const char* name, const char* cat,
   double dur_us = std::chrono::duration<double, std::micro>(end - start).count();
 
   for (PhaseAccumulator* acc = tl_accumulator; acc != nullptr; acc = acc->parent_) {
+    std::lock_guard<std::mutex> lock(acc->mu_);
     PhaseAccumulator::PhaseTotal& total = acc->totals_[name];
     total.total_ms += dur_us * 1e-3;
     ++total.count;
@@ -273,13 +274,29 @@ PhaseAccumulator::PhaseAccumulator() : parent_(tl_accumulator) { tl_accumulator 
 PhaseAccumulator::~PhaseAccumulator() { tl_accumulator = parent_; }
 
 double PhaseAccumulator::TotalMs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = totals_.find(name);
   return it == totals_.end() ? 0.0 : it->second.total_ms;
 }
 
 std::int64_t PhaseAccumulator::SpanCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = totals_.find(name);
   return it == totals_.end() ? 0 : it->second.count;
 }
+
+namespace obs_internal {
+
+PhaseAccumulator* CurrentPhaseAccumulator() { return tl_accumulator; }
+
+}  // namespace obs_internal
+
+ScopedPhaseHandoff::ScopedPhaseHandoff(PhaseAccumulator* stack_top) : saved_(tl_accumulator) {
+  if (stack_top != nullptr) {
+    tl_accumulator = stack_top;
+  }
+}
+
+ScopedPhaseHandoff::~ScopedPhaseHandoff() { tl_accumulator = saved_; }
 
 }  // namespace spacefusion

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,29 @@ void RecordSpan(const char* name, const char* cat,
 // Small dense id for the calling thread (Chrome traces want integer tids).
 int CurrentThreadId();
 
+// Top of the calling thread's PhaseAccumulator stack (nullptr when none is
+// open). Capture before handing work to a thread pool, then install on the
+// worker with ScopedPhaseHandoff so spans completed there still land in the
+// caller's CompileTimeBreakdown totals.
+PhaseAccumulator* CurrentPhaseAccumulator();
+
 }  // namespace obs_internal
+
+// Installs a (possibly foreign-thread) accumulator stack as the current
+// thread's for the lifetime of this object. Used inside thread-pool task
+// bodies; accumulator updates are mutex-guarded, so several workers may
+// share one handed-off stack. A nullptr stack is a no-op install.
+class ScopedPhaseHandoff {
+ public:
+  explicit ScopedPhaseHandoff(PhaseAccumulator* stack_top);
+  ~ScopedPhaseHandoff();
+
+  ScopedPhaseHandoff(const ScopedPhaseHandoff&) = delete;
+  ScopedPhaseHandoff& operator=(const ScopedPhaseHandoff&) = delete;
+
+ private:
+  PhaseAccumulator* saved_;
+};
 
 // True while a trace session (API or SPACEFUSION_TRACE) is capturing.
 inline bool TracingEnabled() {
@@ -166,7 +189,10 @@ Status FlushEnvTrace();
 // Collects per-span-name wall-clock totals for spans completed on this
 // thread while the accumulator is open. Accumulators nest (each sees every
 // span), and they make spans record even with tracing disabled — they are
-// the measurement substrate for CompileTimeBreakdown.
+// the measurement substrate for CompileTimeBreakdown. Updates are
+// mutex-guarded so a stack handed to pool workers (ScopedPhaseHandoff) may
+// be fed from several threads at once; the totals then sum CPU time across
+// workers, like the serial compile summed it on one thread.
 class PhaseAccumulator {
  public:
   PhaseAccumulator();
@@ -190,6 +216,7 @@ class PhaseAccumulator {
     double total_ms = 0.0;
     std::int64_t count = 0;
   };
+  mutable std::mutex mu_;
   std::map<std::string, PhaseTotal> totals_;
   PhaseAccumulator* parent_ = nullptr;  // next accumulator down the stack
 };

@@ -1,0 +1,206 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace spacefusion {
+
+namespace {
+
+// Pool the current thread belongs to (nullptr on non-worker threads); the
+// nested-submit deadlock guard keys off it.
+thread_local const ThreadPool* tl_pool = nullptr;
+
+}  // namespace
+
+int ParseJobs(const char* text) {
+  if (text == nullptr || text[0] == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) {
+    ++end;
+  }
+  if (end == nullptr || *end != '\0' || value <= 0) {
+    return 0;  // garbage / zero / negative: no override
+  }
+  return value > 256 ? 256 : static_cast<int>(value);
+}
+
+int DefaultJobCount() {
+  int jobs = ParseJobs(std::getenv("SPACEFUSION_JOBS"));
+  if (jobs > 0) {
+    return jobs;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) {
+    workers = 0;
+  }
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tl_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InPool() const { return tl_pool == this; }
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  if (InPool() || workers() == 0) {
+    (*task)();  // deadlock guard: a worker waiting on its own queue
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (InPool() || workers() == 0 || n == 1) {
+    fn(0, n);  // serial path; also the nested-parallelism deadlock guard
+    return;
+  }
+
+  struct ForState {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::int64_t total_chunks = 0;
+    std::int64_t chunk = 0;
+    std::int64_t n = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending_tasks = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->chunk = std::max<std::int64_t>(1, n / (static_cast<std::int64_t>(concurrency()) * 4));
+  state->total_chunks = (n + state->chunk - 1) / state->chunk;
+  state->n = n;
+  state->fn = &fn;
+
+  // Every runner (workers and the caller) claims chunks until exhausted;
+  // results land in caller-indexed slots so claim order never matters.
+  auto run_chunks = [](ForState* s) {
+    while (!s->failed.load(std::memory_order_relaxed)) {
+      std::int64_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->total_chunks) {
+        return;
+      }
+      std::int64_t begin = c * s->chunk;
+      std::int64_t end = std::min(s->n, begin + s->chunk);
+      try {
+        (*s->fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (!s->error) {
+          s->error = std::current_exception();
+        }
+        s->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::int64_t helper_tasks =
+      std::min<std::int64_t>(workers(), std::max<std::int64_t>(0, state->total_chunks - 1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->pending_tasks = static_cast<int>(helper_tasks);
+    for (std::int64_t i = 0; i < helper_tasks; ++i) {
+      queue_.emplace_back([state, run_chunks] {
+        run_chunks(state.get());
+        {
+          std::lock_guard<std::mutex> slock(state->mu);
+          --state->pending_tasks;
+        }
+        state->done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunks(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->pending_tasks == 0; });
+    if (state->error) {
+      std::rethrow_exception(state->error);
+    }
+  }
+}
+
+namespace {
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  // unique_ptr (not a leaked raw pointer) so workers join at process exit
+  // and leak checkers stay quiet.
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(DefaultJobCount() - 1);
+  }
+  return *slot;
+}
+
+void ResetGlobalThreadPool(int jobs) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  slot.reset();  // join the old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>((jobs > 0 ? jobs : DefaultJobCount()) - 1);
+}
+
+}  // namespace spacefusion

@@ -1,36 +1,95 @@
 #include "src/tuning/tuner.h"
 
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/schedule/lowering.h"
+#include "src/sim/cost_cache.h"
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 
 namespace spacefusion {
 
+namespace {
+
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
+// Identity of a schedule template for cost-cache keying: the same graph
+// with the same slicing decisions on the same hardware lowers to the same
+// cost for any given config. Block sizes are excluded — they are the
+// config, i.e. the other half of the cache key.
+std::uint64_t ScheduleSignature(const SmgSchedule& schedule, const GpuArch& arch,
+                                const ResourceConfig& rc) {
+  std::uint64_t h = schedule.graph.StructuralHash();
+  for (const DimSlice& slice : schedule.spatial) {
+    h = HashCombine(h, static_cast<std::uint64_t>(slice.dim));
+  }
+  h = HashCombine(h, schedule.has_temporal ? static_cast<std::uint64_t>(schedule.temporal.dim) + 1
+                                           : 0);
+  h = HashCombine(h, std::hash<std::string>{}(arch.name));
+  h = HashCombine(h, static_cast<std::uint64_t>(rc.smem_per_block_max));
+  h = HashCombine(h, static_cast<std::uint64_t>(rc.reg_per_block_max));
+  return h;
+}
+
+}  // namespace
+
 TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
-                       const TunerOptions& options) {
+                       const TunerOptions& options, CostCache* cache) {
   ScopedSpan span("tuner.measure", "tuning");
   span.Arg("kernel", result->schedule.graph.name())
       .Arg("search_space", static_cast<std::int64_t>(result->configs.size()));
   TuningStats stats;
-  const ScheduleConfig* best = nullptr;
+  const std::int64_t n = static_cast<std::int64_t>(result->configs.size());
+  SF_CHECK(n > 0) << "tuner called with empty search space";
+
+  const std::uint64_t sig =
+      cache != nullptr ? ScheduleSignature(result->schedule, cost.arch(), rc) : 0;
+
+  // Measurement sweep: every config's cost lands in its own indexed slot,
+  // so the parallel sweep computes exactly what the serial loop would.
+  // Each chunk clones the schedule once and probes its configs on the
+  // clone, keeping ApplyConfig/PlanMemory off shared state.
+  std::vector<double> time_us(static_cast<size_t>(n));
+  PhaseAccumulator* phases = obs_internal::CurrentPhaseAccumulator();
+  GlobalThreadPool().ParallelFor(n, [&, phases](std::int64_t begin, std::int64_t end) {
+    ScopedPhaseHandoff handoff(phases);
+    SmgSchedule local = result->schedule;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const ScheduleConfig& config = result->configs[static_cast<size_t>(i)];
+      auto eval = [&]() -> KernelCost {
+        local.ApplyConfig(config);
+        PlanMemory(&local, rc);
+        AddressMap probe;
+        KernelSpec spec = LowerSchedule(local, &probe);
+        return cost.EstimateKernel(spec);
+      };
+      time_us[static_cast<size_t>(i)] =
+          (cache != nullptr ? cache->GetOrCompute(sig, config.ToString(), eval) : eval()).time_us;
+    }
+  });
+
+  // Serial reduction in config order: deterministic argmin (lowest index
+  // wins ties) and the early-quit accounting. The accounting keeps modeling
+  // the *serial* on-GPU measurement schedule — 20 warm-up + 100 timed runs
+  // per config, abandoned at alpha x the incumbent's total — so Table 4/5's
+  // simulated tuning seconds are independent of host-side parallelism.
+  std::int64_t best_idx = -1;
   double best_time = 0.0;
   double best_total = 0.0;  // incumbent's full measurement time (us)
-
-  for (const ScheduleConfig& config : result->configs) {
-    result->schedule.ApplyConfig(config);
-    PlanMemory(&result->schedule, rc);
-    AddressMap probe;
-    KernelSpec spec = LowerSchedule(result->schedule, &probe);
-    double t = cost.EstimateKernel(spec).time_us;
+  const int total_runs = options.warmup_runs + options.timed_runs;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double t = time_us[static_cast<size_t>(i)];
     ++stats.configs_tried;
 
-    const int total_runs = options.warmup_runs + options.timed_runs;
     double full_measurement = t * total_runs;
     double charged = full_measurement;
-    if (options.enable_early_quit && best != nullptr &&
+    if (options.enable_early_quit && best_idx >= 0 &&
         full_measurement > options.early_quit_alpha * best_total) {
       // The runner abandons this config once it has burned alpha x the
       // incumbent's total test time.
@@ -41,15 +100,14 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
     }
     stats.simulated_tuning_seconds += charged * 1e-6;
 
-    if (best == nullptr || t < best_time) {
-      best = &config;
+    if (best_idx < 0 || t < best_time) {
+      best_idx = i;
       best_time = t;
       best_total = full_measurement;
     }
   }
 
-  SF_CHECK(best != nullptr) << "tuner called with empty search space";
-  result->schedule.ApplyConfig(*best);
+  result->schedule.ApplyConfig(result->configs[static_cast<size_t>(best_idx)]);
   PlanMemory(&result->schedule, rc);
   stats.best_time_us = best_time;
 

@@ -6,6 +6,14 @@
 // configuration would be measured with 20 warm-up + 100 timed runs, and the
 // early-quit mechanism abandons a configuration once its accumulated test
 // time exceeds alpha (=0.25) of the incumbent best configuration's total.
+//
+// Host-side evaluation is parallelized over the global thread pool
+// (SPACEFUSION_JOBS), but the result is bit-identical to the serial sweep:
+// per-config costs are written to indexed slots, the argmin is a serial
+// scan (lowest index wins ties), and the early-quit charge is re-derived
+// from that scan's incumbent — the modeled GPU still measures configs one
+// after another, so simulated_tuning_seconds never depends on the job
+// count.
 #ifndef SPACEFUSION_SRC_TUNING_TUNER_H_
 #define SPACEFUSION_SRC_TUNING_TUNER_H_
 
@@ -13,6 +21,8 @@
 #include "src/sim/cost_model.h"
 
 namespace spacefusion {
+
+class CostCache;
 
 struct TuningStats {
   int configs_tried = 0;
@@ -30,8 +40,11 @@ struct TunerOptions {
 };
 
 // Tunes one kernel in place: applies the best config to `result->schedule`.
+// With a CostCache, repeated (kernel signature, config) evaluations across
+// blocks and candidate programs are computed once (results are identical
+// either way; the cache memoizes a pure function).
 TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
-                       const TunerOptions& options = TunerOptions());
+                       const TunerOptions& options = TunerOptions(), CostCache* cache = nullptr);
 
 // Picks the config nearest an expert default (64-wide tiles, 64-step
 // temporal) without measuring — the Base(SS)/Base+TS ablation variants.

@@ -1,0 +1,171 @@
+// Determinism of the parallel auto-tuning engine: compilation output —
+// chosen ScheduleConfigs, cost-model values, simulated tuning seconds —
+// must be bit-identical at every SPACEFUSION_JOBS value, across repeated
+// runs, and with or without the cost cache. Also pins the serial on-GPU
+// measurement model behind TuningStats::simulated_tuning_seconds (Table 4/5)
+// so host-side parallelization can never silently change the paper numbers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/spacefusion.h"
+#include "src/schedule/lowering.h"
+#include "src/schedule/resource_aware.h"
+#include "src/sim/cost_cache.h"
+#include "src/support/thread_pool.h"
+#include "src/tuning/tuner.h"
+
+namespace spacefusion {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetGlobalThreadPool(); }
+};
+
+SlicingResult MhaSlicingResult(std::int64_t seq) {
+  Graph g = BuildMha(/*batch_heads=*/32 * 12, seq, seq, /*head_dim=*/64);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  StatusOr<SlicingResult> sliced = ResourceAwareSlicing(g, rc);
+  EXPECT_TRUE(sliced.ok()) << sliced.status().ToString();
+  return std::move(sliced).value();
+}
+
+bool StatsIdentical(const TuningStats& a, const TuningStats& b) {
+  return a.configs_tried == b.configs_tried && a.configs_early_quit == b.configs_early_quit &&
+         a.best_time_us == b.best_time_us &&
+         a.simulated_tuning_seconds == b.simulated_tuning_seconds;
+}
+
+TEST_F(DeterminismTest, TuneKernelTwiceIsIdentical) {
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  CostModel cost(AmpereA100());
+  ResetGlobalThreadPool(8);
+
+  SlicingResult first = MhaSlicingResult(256);
+  SlicingResult second = first;
+  TuningStats stats1 = TuneKernel(&first, cost, rc);
+  TuningStats stats2 = TuneKernel(&second, cost, rc);
+  EXPECT_TRUE(StatsIdentical(stats1, stats2));
+  EXPECT_EQ(first.schedule.ToString(), second.schedule.ToString());
+
+  // Re-tuning an already tuned result is idempotent (the sweep probes
+  // clones; the incoming block sizes are irrelevant).
+  TuningStats stats3 = TuneKernel(&first, cost, rc);
+  EXPECT_TRUE(StatsIdentical(stats1, stats3));
+}
+
+TEST_F(DeterminismTest, TuneKernelIdenticalAcrossJobCountsAndCache) {
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  CostModel cost(AmpereA100());
+
+  ResetGlobalThreadPool(1);
+  SlicingResult serial = MhaSlicingResult(256);
+  TuningStats serial_stats = TuneKernel(&serial, cost, rc);
+
+  ResetGlobalThreadPool(8);
+  SlicingResult parallel = MhaSlicingResult(256);
+  TuningStats parallel_stats = TuneKernel(&parallel, cost, rc);
+  EXPECT_TRUE(StatsIdentical(serial_stats, parallel_stats));
+  EXPECT_EQ(serial.schedule.ToString(), parallel.schedule.ToString());
+
+  // A memoizing cache replays the same pure function: identical stats, and
+  // the second tune is answered entirely from cache.
+  CostCache cache;
+  SlicingResult cached = MhaSlicingResult(256);
+  TuningStats cached_stats = TuneKernel(&cached, cost, rc, TunerOptions(), &cache);
+  EXPECT_TRUE(StatsIdentical(serial_stats, cached_stats));
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, cached_stats.configs_tried);
+
+  TuningStats replay_stats = TuneKernel(&cached, cost, rc, TunerOptions(), &cache);
+  EXPECT_TRUE(StatsIdentical(serial_stats, replay_stats));
+  EXPECT_EQ(cache.stats().hits, replay_stats.configs_tried);
+  EXPECT_EQ(cache.stats().misses, cached_stats.configs_tried);
+}
+
+// Compiling a whole model must select identical schedules and report
+// identical cost-model values at SPACEFUSION_JOBS=1 and =8.
+TEST_F(DeterminismTest, CompileModelIdenticalAcrossJobCounts) {
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, /*batch=*/1, /*seq=*/128));
+
+  auto fingerprint = [&](int jobs) {
+    ResetGlobalThreadPool(jobs);
+    Compiler compiler{CompileOptions(AmpereA100())};
+    StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    std::string out;
+    for (const CompiledSubprogram& sub : compiled->unique_subprograms) {
+      for (const SmgSchedule& kernel : sub.program.kernels) {
+        out += kernel.ToString();
+      }
+      char line[128];
+      std::snprintf(line, sizeof(line), "est=%.17g tune=%.17g tried=%d\n", sub.estimate.time_us,
+                    sub.tuning.simulated_tuning_seconds, sub.tuning.configs_tried);
+      out += line;
+    }
+    char total[128];
+    std::snprintf(total, sizeof(total), "total=%.17g tuning_s=%.17g", compiled->total.time_us,
+                  compiled->compile_time.tuning_s);
+    out += total;
+    return out;
+  };
+
+  std::string serial = fingerprint(1);
+  std::string parallel = fingerprint(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+// Regression pin for the Table 4/5 fix: simulated_tuning_seconds models the
+// GPU measuring configurations *serially* (20 warm-up + 100 timed runs per
+// config, early-quit at alpha x the incumbent's total), independent of how
+// many host threads evaluated the cost model. The independent re-derivation
+// below must match the tuner bit-for-bit at jobs=8.
+TEST_F(DeterminismTest, SimulatedTuningSecondsModelsSerialMeasurement) {
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  CostModel cost(AmpereA100());
+  TunerOptions options;
+
+  SlicingResult result = MhaSlicingResult(256);
+  std::vector<ScheduleConfig> configs = result.configs;
+  SmgSchedule probe = result.schedule;
+
+  // Serial reference: replay the measurement schedule one config at a time.
+  double expected_seconds = 0.0;
+  double best_time = 0.0;
+  double best_total = 0.0;
+  bool have_best = false;
+  const int total_runs = options.warmup_runs + options.timed_runs;
+  for (const ScheduleConfig& config : configs) {
+    probe.ApplyConfig(config);
+    PlanMemory(&probe, rc);
+    AddressMap addresses;
+    double t = cost.EstimateKernel(LowerSchedule(probe, &addresses)).time_us;
+    double full = t * total_runs;
+    double charged = full;
+    if (have_best && full > options.early_quit_alpha * best_total) {
+      charged = std::min(full, options.early_quit_alpha * best_total + t);
+    }
+    expected_seconds += charged * 1e-6;
+    if (!have_best || t < best_time) {
+      have_best = true;
+      best_time = t;
+      best_total = full;
+    }
+  }
+
+  ResetGlobalThreadPool(8);
+  TuningStats stats = TuneKernel(&result, cost, rc, options);
+  EXPECT_EQ(stats.simulated_tuning_seconds, expected_seconds);
+
+  // Pin against the known value for this MHA(32,256) kernel on A100 so a
+  // future change to the measurement model cannot slip through silently.
+  // (Loose relative tolerance: the value must survive libm differences
+  // across toolchains, not bit-rot within one.)
+  EXPECT_NEAR(stats.simulated_tuning_seconds, 1.14336, 0.01);
+}
+
+}  // namespace
+}  // namespace spacefusion

@@ -9,82 +9,12 @@
 
 #include "src/core/spacefusion.h"
 #include "src/support/string_util.h"
+#include "tests/random_graph.h"
 
 namespace spacefusion {
 namespace {
 
-// SplitMix64: deterministic per-seed randomness.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ULL + 1) {}
-
-  std::uint64_t Next() {
-    state_ += 0x9E3779B97F4A7C15ULL;
-    std::uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
-
-  std::int64_t Range(std::int64_t lo, std::int64_t hi) {  // inclusive
-    return lo + static_cast<std::int64_t>(Next() % static_cast<std::uint64_t>(hi - lo + 1));
-  }
-
- private:
-  std::uint64_t state_;
-};
-
-// Builds a random graph of chained 2-D ops over [rows, cols]-shaped values.
-// Reductions reduce the last axis; matmuls contract it against a fresh
-// weight; softmax/layernorm composites appear occasionally.
-Graph RandomGraph(std::uint64_t seed) {
-  Rng rng(seed);
-  GraphBuilder b(StrCat("fuzz_", seed));
-  std::int64_t rows = 8 << rng.Range(0, 2);   // 8..32
-  std::int64_t cols = 16 << rng.Range(0, 2);  // 16..64
-
-  TensorId cur = b.Input("x", Shape({rows, cols}));
-  int ops = static_cast<int>(rng.Range(2, 7));
-  int weight_count = 0;
-
-  for (int i = 0; i < ops; ++i) {
-    switch (rng.Range(0, 6)) {
-      case 0: {  // matmul with a fresh weight (keeps cols as new N)
-        std::int64_t n = 16 << rng.Range(0, 2);
-        TensorId w = b.Weight(StrCat("w", weight_count++), Shape({cols, n}));
-        cur = b.MatMul(cur, w);
-        cols = n;
-        break;
-      }
-      case 1:
-        cur = b.Unary(static_cast<UnaryKind>(rng.Range(0, 4)), cur);  // exp..sigmoid
-        break;
-      case 2: {  // bias-style broadcast binary
-        TensorId bias = b.Weight(StrCat("b", weight_count++), Shape({cols}));
-        cur = b.Binary(BinaryKind::kAdd, cur, bias);
-        break;
-      }
-      case 3: {  // row-stat broadcast (sub the row max: keeps values sane)
-        TensorId stat = b.Reduce(ReduceKind::kMax, cur);
-        cur = b.Binary(BinaryKind::kSub, cur, stat);
-        break;
-      }
-      case 4:
-        cur = b.Softmax(cur);
-        break;
-      case 5: {
-        TensorId gamma = b.Weight(StrCat("g", weight_count++), Shape({cols}));
-        cur = b.LayerNorm(cur, gamma, kInvalidTensor);
-        break;
-      }
-      case 6:
-        cur = b.Relu(cur);
-        break;
-    }
-  }
-  b.MarkOutput(cur);
-  return b.Build();
-}
+using testing_util::RandomGraph;
 
 class FuzzCompileTest : public ::testing::TestWithParam<int> {};
 
