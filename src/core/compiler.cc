@@ -40,6 +40,20 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   compile_span.Arg("graph", graph.name()).Arg("ops", static_cast<std::int64_t>(graph.ops().size()));
   SF_COUNTER_ADD("compiler.subprograms_compiled", 1);
 
+  // Phase boundary 1: the input graph. Rejecting a malformed graph here —
+  // with structured diagnostics — beats an SF_CHECK abort deep in slicing.
+  if (options_.verify != VerifyMode::kOff) {
+    ScopedSpan verify_span("verify.graph", "verify");
+    DiagnosticReport report;
+    report.SetContext(graph.name());
+    VerifyGraph(graph, &report);
+    verify_span.Arg("diagnostics", static_cast<std::int64_t>(report.diagnostics().size()));
+    if (!report.ok()) {
+      SF_COUNTER_ADD("verify.rejected_inputs", 1);
+      return report.ToStatus(StatusCode::kInvalidArgument);
+    }
+  }
+
   SlicingOptions slicing;
   slicing.enable_temporal = options_.enable_temporal_slicing;
   slicing.search = options_.search;
@@ -121,6 +135,37 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
     }
   }
 
+  // Full mode: every candidate program the pipeline enumerated is verified
+  // before tuning — each kernel's SMG build, plus slicing legality and
+  // memory plan under every enumerated config. Violations here are compiler
+  // bugs (the pipeline produced them), hence kInternal.
+  if (options_.verify == VerifyMode::kFull) {
+    ScopedSpan verify_span("verify.candidates", "verify");
+    DiagnosticReport report;
+    std::int64_t configs_checked = 0;
+    for (const ProgramCandidate& candidate : pipeline.candidates) {
+      for (const SlicingResult& kernel : candidate.kernels) {
+        report.SetContext(kernel.schedule.graph.name());
+        VerifyGraph(kernel.schedule.graph, &report);
+        VerifySmgBuild(kernel.schedule.graph, kernel.schedule.built, &report);
+        for (const ScheduleConfig& config : kernel.configs) {
+          SmgSchedule probe = kernel.schedule;
+          probe.ApplyConfig(config);
+          PlanMemory(&probe, rc_);
+          VerifySlicing(probe, &report);
+          VerifyMemoryPlan(probe, rc_, &report);
+          ++configs_checked;
+        }
+      }
+    }
+    verify_span.Arg("configs", configs_checked)
+        .Arg("diagnostics", static_cast<std::int64_t>(report.diagnostics().size()));
+    SF_COUNTER_ADD("verify.candidate_configs_checked", configs_checked);
+    if (!report.ok()) {
+      return report.ToStatus(StatusCode::kInternal);
+    }
+  }
+
   // Tune every candidate program, keep the fastest (Sec. 5.3).
   CompiledSubprogram best;
   bool have_best = false;
@@ -193,6 +238,19 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   best.tuning.best_time_us = best.estimate.time_us;
   best.tuning.simulated_tuning_seconds = total_tuning_s;
   compile_span.Arg("configs_tried", tried).Arg("best_us", best.estimate.time_us);
+
+  // Phase boundary 2: the chosen program — per-kernel SMG build, slicing
+  // and memory-plan legality, plus inter-kernel dependency order against
+  // the source graph. A violation of the tuned result is a compiler bug.
+  if (options_.verify != VerifyMode::kOff) {
+    DiagnosticReport report = VerifyCompiledProgram(best.program, graph, rc_);
+    if (!report.ok()) {
+      return report.ToStatus(StatusCode::kInternal);
+    }
+    for (const Diagnostic& d : report.diagnostics()) {
+      SF_LOG(Warning) << d.ToString();
+    }
+  }
   return best;
 }
 

@@ -19,6 +19,7 @@
 #include "src/sim/cost_cache.h"
 #include "src/sim/cost_model.h"
 #include "src/tuning/tuner.h"
+#include "src/verify/verifier.h"
 
 namespace spacefusion {
 
@@ -29,6 +30,11 @@ struct CompileOptions {
   //  * enable_auto_scheduling=false (expert cfgs)  -> Base(SS) / Base+TS
   bool enable_temporal_slicing = true;
   bool enable_auto_scheduling = true;
+  // Static IR verification at phase boundaries (src/verify): input graphs
+  // are checked at compile entry and the chosen program at compile exit;
+  // kFull additionally checks every candidate program and enumerated
+  // config. Defaults to SPACEFUSION_VERIFY from the environment, else phase.
+  VerifyMode verify = VerifyModeFromEnv();
   SearchOptions search;
   TunerOptions tuner;
 

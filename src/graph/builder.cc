@@ -33,8 +33,17 @@ TensorId GraphBuilder::Constant(const std::string& name, float value) {
   return graph_.AddTensor(std::move(info));
 }
 
+void GraphBuilder::Fail(Status status) {
+  if (status_.ok()) {
+    status_ = std::move(status);
+  }
+}
+
 TensorId GraphBuilder::EmitOp(OpKind kind, OpAttrs attrs, std::vector<TensorId> inputs,
                               const std::string& name) {
+  if (!status_.ok()) {
+    return kInvalidTensor;
+  }
   std::vector<Shape> in_shapes;
   in_shapes.reserve(inputs.size());
   // Output dtype follows the first non-constant operand (FP32 scalar
@@ -42,13 +51,23 @@ TensorId GraphBuilder::EmitOp(OpKind kind, OpAttrs attrs, std::vector<TensorId> 
   DType dtype = DType::kF16;
   bool dtype_set = false;
   for (TensorId in : inputs) {
+    if (in < 0 || in >= static_cast<TensorId>(graph_.tensors().size())) {
+      Fail(InvalidArgument(StrCat("[SFV0101] ", OpKindName(kind),
+                                  " references invalid tensor id ", in)));
+      return kInvalidTensor;
+    }
     in_shapes.push_back(graph_.tensor(in).shape);
     if (!dtype_set && graph_.tensor(in).kind != TensorKind::kConstant) {
       dtype = graph_.tensor(in).dtype;
       dtype_set = true;
     }
   }
-  Shape out_shape = InferOpShape(kind, attrs, in_shapes);
+  StatusOr<Shape> inferred = TryInferOpShape(kind, attrs, in_shapes);
+  if (!inferred.ok()) {
+    Fail(inferred.status());
+    return kInvalidTensor;
+  }
+  Shape out_shape = std::move(inferred).value();
 
   std::string op_name = name.empty() ? StrCat(OpKindName(kind), "_", temp_counter_++) : name;
 
@@ -151,16 +170,32 @@ TensorId GraphBuilder::Linear(TensorId x, TensorId w, TensorId bias, bool transp
 }
 
 void GraphBuilder::MarkOutput(TensorId id) {
-  SF_CHECK_EQ(static_cast<int>(graph_.tensor(id).kind),
-              static_cast<int>(TensorKind::kIntermediate))
-      << "only intermediate tensors can become outputs";
+  if (!status_.ok()) {
+    return;
+  }
+  if (id < 0 || id >= static_cast<TensorId>(graph_.tensors().size())) {
+    Fail(InvalidArgument(StrCat("[SFV0101] MarkOutput of invalid tensor id ", id)));
+    return;
+  }
+  if (graph_.tensor(id).kind != TensorKind::kIntermediate) {
+    Fail(InvalidArgument(StrCat("[SFV0105] only intermediate tensors can become outputs; ",
+                                graph_.tensor(id).name, " is ",
+                                TensorKindName(graph_.tensor(id).kind))));
+    return;
+  }
   graph_.tensor(id).kind = TensorKind::kOutput;
 }
 
-Graph GraphBuilder::Build() {
-  Status st = graph_.Validate();
-  SF_CHECK(st.ok()) << st.ToString();
+StatusOr<Graph> GraphBuilder::TryBuild() {
+  SF_RETURN_IF_ERROR(status_);
+  SF_RETURN_IF_ERROR(graph_.Validate());
   return std::move(graph_);
+}
+
+Graph GraphBuilder::Build() {
+  StatusOr<Graph> graph = TryBuild();
+  SF_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
 }
 
 }  // namespace spacefusion

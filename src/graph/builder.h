@@ -2,6 +2,13 @@
 //
 // Composite helpers (Softmax, LayerNorm, RmsNorm, Linear, ...) emit the same
 // primitive-op decompositions shown in the paper's Fig. 10 DFGs.
+//
+// Malformed user input (incompatible shapes, invalid tensor ids, marking a
+// non-intermediate as output) does not abort: the first failure latches a
+// sticky error status, the failing emit returns kInvalidTensor (which later
+// emits silently propagate), and TryBuild() surfaces the status. Build()
+// keeps the die-on-error contract for callers constructing known-good
+// graphs.
 #ifndef SPACEFUSION_SRC_GRAPH_BUILDER_H_
 #define SPACEFUSION_SRC_GRAPH_BUILDER_H_
 
@@ -49,10 +56,18 @@ class GraphBuilder {
   TensorId Linear(TensorId x, TensorId w, TensorId bias = kInvalidTensor,
                   bool transpose_w = false);
 
-  // Marks a tensor as a graph output.
+  // Marks a tensor as a graph output (latches an error for non-intermediates).
   void MarkOutput(TensorId id);
 
   const Shape& shape(TensorId id) const { return graph_.tensor(id).shape; }
+
+  // First construction error, or Ok. Sticky: once set, every subsequent emit
+  // is a no-op returning kInvalidTensor.
+  const Status& status() const { return status_; }
+
+  // Finalizes the graph: any latched construction error or validation
+  // failure is returned as a Status instead of aborting.
+  StatusOr<Graph> TryBuild();
 
   // Finalizes and validates the graph (dies on invariant violations).
   Graph Build();
@@ -62,8 +77,11 @@ class GraphBuilder {
  private:
   TensorId EmitOp(OpKind kind, OpAttrs attrs, std::vector<TensorId> inputs,
                   const std::string& name);
+  // Latches `status` if no earlier error is recorded.
+  void Fail(Status status);
 
   Graph graph_;
+  Status status_;
   int temp_counter_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "src/graph/graph.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 
@@ -93,37 +94,78 @@ std::int64_t Graph::BoundaryBytes() const {
   return bytes;
 }
 
-Shape InferOpShape(OpKind kind, const OpAttrs& attrs, const std::vector<Shape>& inputs) {
+namespace {
+
+// Broadcast result shape without the SF_CHECK abort of BroadcastShape:
+// incompatible user shapes are an expected, reportable condition here.
+StatusOr<Shape> TryBroadcastShape(const Shape& a, const Shape& b) {
+  int rank = std::max(a.rank(), b.rank());
+  std::vector<std::int64_t> dims(static_cast<size_t>(rank), 1);
+  for (int i = 0; i < rank; ++i) {
+    std::int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    std::int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    if (da != db && da != 1 && db != 1) {
+      return InvalidArgument(StrCat("[SFV0103] incompatible broadcast: ", a.ToString(), " vs ",
+                                    b.ToString()));
+    }
+    dims[static_cast<size_t>(rank - 1 - i)] = std::max(da, db);
+  }
+  return Shape(dims);
+}
+
+}  // namespace
+
+StatusOr<Shape> TryInferOpShape(OpKind kind, const OpAttrs& attrs,
+                                const std::vector<Shape>& inputs) {
+  size_t want = (kind == OpKind::kUnary || kind == OpKind::kReduce) ? 1u : 2u;
+  if (inputs.size() != want) {
+    return InvalidArgument(StrCat("[SFV0107] ", OpKindName(kind), " expects ", want,
+                                  " input(s), got ", inputs.size()));
+  }
   switch (kind) {
     case OpKind::kMatMul: {
-      SF_CHECK_EQ(inputs.size(), 2u);
       const Shape& a = inputs[0];
       const Shape& b = inputs[1];
+      if (a.rank() < 2 || b.rank() < 2) {
+        return InvalidArgument(StrCat("[SFV0103] matmul operands need rank >= 2, got ",
+                                      a.ToString(), " @ ", b.ToString()));
+      }
       std::int64_t m = attrs.transpose_a ? a.dim(a.rank() - 1) : a.dim(a.rank() - 2);
+      std::int64_t k = attrs.transpose_a ? a.dim(a.rank() - 2) : a.dim(a.rank() - 1);
+      std::int64_t kb = attrs.transpose_b ? b.dim(b.rank() - 1) : b.dim(b.rank() - 2);
       std::int64_t n = attrs.transpose_b ? b.dim(b.rank() - 2) : b.dim(b.rank() - 1);
+      if (k != kb) {
+        return InvalidArgument(StrCat("[SFV0103] matmul contraction mismatch: ", a.ToString(),
+                                      " @ ", b.ToString()));
+      }
       Shape batch_a(std::vector<std::int64_t>(a.dims().begin(), a.dims().end() - 2));
       Shape batch_b(std::vector<std::int64_t>(b.dims().begin(), b.dims().end() - 2));
-      std::vector<std::int64_t> dims = BroadcastShape(batch_a, batch_b).dims();
+      SF_ASSIGN_OR_RETURN(Shape batch, TryBroadcastShape(batch_a, batch_b));
+      std::vector<std::int64_t> dims = batch.dims();
       dims.push_back(m);
       dims.push_back(n);
       return Shape(dims);
     }
     case OpKind::kUnary:
-      SF_CHECK_EQ(inputs.size(), 1u);
       return inputs[0];
     case OpKind::kBinary:
-      SF_CHECK_EQ(inputs.size(), 2u);
-      return BroadcastShape(inputs[0], inputs[1]);
+      return TryBroadcastShape(inputs[0], inputs[1]);
     case OpKind::kReduce: {
-      SF_CHECK_EQ(inputs.size(), 1u);
       std::vector<std::int64_t> dims = inputs[0].dims();
-      SF_CHECK(!dims.empty());
+      if (dims.empty()) {
+        return InvalidArgument("[SFV0103] reduce needs a rank >= 1 operand");
+      }
       dims.back() = 1;
       return Shape(dims);
     }
   }
-  SF_CHECK(false) << "unreachable";
-  return Shape();
+  return Internal("unreachable op kind");
+}
+
+Shape InferOpShape(OpKind kind, const OpAttrs& attrs, const std::vector<Shape>& inputs) {
+  StatusOr<Shape> shape = TryInferOpShape(kind, attrs, inputs);
+  SF_CHECK(shape.ok()) << shape.status().ToString();
+  return std::move(shape).value();
 }
 
 Status Graph::Validate() const {
@@ -143,10 +185,13 @@ Status Graph::Validate() const {
       }
       in_shapes.push_back(t.shape);
     }
-    Shape expect = InferOpShape(op.kind, op.attrs, in_shapes);
-    if (expect != tensor(op.output).shape) {
+    StatusOr<Shape> expect = TryInferOpShape(op.kind, op.attrs, in_shapes);
+    if (!expect.ok()) {
+      return Internal(StrCat("op ", op.name, ": ", expect.status().message()));
+    }
+    if (expect.value() != tensor(op.output).shape) {
       return Internal(StrCat("op ", op.name, " output shape ", tensor(op.output).shape.ToString(),
-                             " != inferred ", expect.ToString()));
+                             " != inferred ", expect.value().ToString()));
     }
   }
   for (const TensorInfo& t : tensors_) {

@@ -90,7 +90,16 @@ class Graph {
   std::vector<std::vector<OpId>> consumers_;
 };
 
-// Output shape implied by an op applied to input shapes (dies on mismatch).
+// Output shape implied by an op applied to input shapes. Malformed user
+// input (wrong arity, incompatible broadcast, matmul rank/contraction
+// mismatch) yields kInvalidArgument whose message carries the matching
+// verifier code ("[SFV0103]" / "[SFV0107]") so callers surfacing it keep a
+// machine-greppable diagnostic.
+StatusOr<Shape> TryInferOpShape(OpKind kind, const OpAttrs& attrs,
+                                const std::vector<Shape>& inputs);
+
+// Like TryInferOpShape but dies on mismatch; for callers that have already
+// validated their inputs.
 Shape InferOpShape(OpKind kind, const OpAttrs& attrs, const std::vector<Shape>& inputs);
 
 // Splits a graph into weakly-connected components, where ops are connected

@@ -80,6 +80,36 @@ StatusOr<SmgBuildResult> BuildSmg(const Graph& graph) {
     }
   }
 
+  // Malformed graphs (hand-built or fuzzed) must fail with a reportable
+  // status, not index out of bounds in the alignment phase below.
+  for (const Op& op : graph.ops()) {
+    size_t want = (op.kind == OpKind::kUnary || op.kind == OpKind::kReduce) ? 1u : 2u;
+    if (op.inputs.size() != want) {
+      return InvalidArgument(StrCat("[SFV0107] op ", op.name, " expects ", want,
+                                    " input(s), has ", op.inputs.size()));
+    }
+    for (TensorId in : op.inputs) {
+      if (in < 0 || in >= static_cast<TensorId>(num_tensors)) {
+        return InvalidArgument(StrCat("[SFV0101] op ", op.name, " references invalid tensor ",
+                                      in));
+      }
+    }
+    if (op.output < 0 || op.output >= static_cast<TensorId>(num_tensors)) {
+      return InvalidArgument(StrCat("[SFV0101] op ", op.name, " produces invalid tensor ",
+                                    op.output));
+    }
+    if (op.kind == OpKind::kMatMul &&
+        (graph.tensor(op.inputs[0]).shape.rank() < 2 ||
+         graph.tensor(op.inputs[1]).shape.rank() < 2)) {
+      return InvalidArgument(StrCat("[SFV0103] matmul ", op.name,
+                                    " needs rank >= 2 operands"));
+    }
+    if (op.kind == OpKind::kReduce && graph.tensor(op.inputs[0]).shape.rank() < 1) {
+      return InvalidArgument(StrCat("[SFV0103] reduce ", op.name,
+                                    " needs a rank >= 1 operand"));
+    }
+  }
+
   AxisUnion dsu(num_tensors);
   auto join_axes = [&](TensorId ta, int ax_a, TensorId tb, int ax_b) {
     dsu.Join(AxisUnion::Key(ta, ax_a), AxisUnion::Key(tb, ax_b));
@@ -156,9 +186,13 @@ StatusOr<SmgBuildResult> BuildSmg(const Graph& graph) {
     auto it = root_to_dim.find(root);
     if (it != root_to_dim.end()) {
       if (smg.dim(it->second).extent != extent) {
-        return Internal(StrCat("dimension alignment extent mismatch in ", graph.name(), ": ",
-                               smg.dim(it->second).extent, " vs ", extent, " for tensor ",
-                               graph.tensor(t).name, " axis ", axis));
+        // A user graph whose op semantics force two different extents onto
+        // one aligned dim (e.g. mismatched elementwise chain built by hand)
+        // is an input error, not a compiler bug.
+        return InvalidArgument(
+            StrCat("[SFV0206] dimension alignment extent mismatch in ", graph.name(), ": ",
+                   smg.dim(it->second).extent, " vs ", extent, " for tensor ",
+                   graph.tensor(t).name, " axis ", axis));
       }
       return it->second;
     }

@@ -1,0 +1,157 @@
+#include "src/verify/diagnostics.h"
+
+#include <cstdio>
+
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream out;
+  out << code << " [" << DiagSeverityName(severity) << "] " << phase;
+  if (!context.empty()) {
+    out << "(" << context << ")";
+  }
+  out << ": ";
+  if (!subject.empty()) {
+    out << subject << ": ";
+  }
+  out << message;
+  return out.str();
+}
+
+std::string Diagnostic::ToJson() const {
+  return StrCat("{\"code\":\"", code, "\",\"severity\":\"", DiagSeverityName(severity),
+                "\",\"phase\":\"", EscapeJson(phase), "\",\"context\":\"", EscapeJson(context),
+                "\",\"subject\":\"", EscapeJson(subject), "\",\"message\":\"",
+                EscapeJson(message), "\"}");
+}
+
+Diagnostic& DiagnosticReport::Add(DiagSeverity severity, const char* code, const char* phase,
+                                  std::string subject, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.phase = phase;
+  d.context = context_;
+  d.subject = std::move(subject);
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+Diagnostic& DiagnosticReport::AddError(const char* code, const char* phase, std::string subject,
+                                       std::string message) {
+  return Add(DiagSeverity::kError, code, phase, std::move(subject), std::move(message));
+}
+
+Diagnostic& DiagnosticReport::AddWarning(const char* code, const char* phase, std::string subject,
+                                         std::string message) {
+  return Add(DiagSeverity::kWarning, code, phase, std::move(subject), std::move(message));
+}
+
+int DiagnosticReport::error_count() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    n += d.severity == DiagSeverity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+int DiagnosticReport::warning_count() const {
+  return static_cast<int>(diagnostics_.size()) - error_count();
+}
+
+bool DiagnosticReport::HasCode(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiagnosticReport::Merge(DiagnosticReport&& other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+  other.diagnostics_.clear();
+}
+
+std::string DiagnosticReport::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << diagnostics_[i].ToString();
+  }
+  return out.str();
+}
+
+std::string DiagnosticReport::ToJson() const {
+  std::string out = "{\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += diagnostics_[i].ToJson();
+  }
+  out += StrCat("],\"errors\":", error_count(), ",\"warnings\":", warning_count(), "}");
+  return out;
+}
+
+Status DiagnosticReport::ToStatus(StatusCode code) const {
+  if (ok()) {
+    return Status::Ok();
+  }
+  return Status(code, StrCat("verification failed with ", error_count(), " error(s):\n",
+                             ToString()));
+}
+
+}  // namespace spacefusion

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/spacefusion.h"
 #include "src/support/string_util.h"
+#include "src/verify/verifier.h"
 #include "tests/random_graph.h"
 
 namespace spacefusion {
@@ -58,6 +60,69 @@ TEST_P(FuzzArchTest, SchedulesAreFeasibleOnEveryArch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzArchTest, ::testing::Range(0, 12));
+
+// Verifier-seeded fuzzing: every random graph the pipeline accepts must come
+// out clean under full verification, and every mutated (broken) graph must be
+// rejected with at least one SFV diagnostic — never a crash.
+class FuzzVerifyCleanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzVerifyCleanTest, AcceptedProgramsVerifyClean) {
+  Graph g = RandomGraph(static_cast<std::uint64_t>(GetParam()) * 424243ULL + 7);
+  CompileOptions options{AmpereA100()};
+  options.verify = VerifyMode::kFull;
+  Compiler compiler{options};
+  // Full mode checks every candidate program and enumerated config along the
+  // way; any diagnostic fails the compile.
+  StatusOr<CompiledSubprogram> compiled = compiler.Compile(g);
+  ASSERT_TRUE(compiled.ok()) << g.ToString() << "\n" << compiled.status().ToString();
+
+  DiagnosticReport report =
+      VerifyCompiledProgram(compiled->program, g, ResourceConfig::FromArch(options.arch));
+  EXPECT_EQ(report.error_count(), 0) << "seed " << GetParam() << "\n" << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzVerifyCleanTest, ::testing::Range(0, 16));
+
+class FuzzVerifyRejectTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzVerifyRejectTest, MutatedGraphsCarryDiagnostics) {
+  Graph g = RandomGraph(static_cast<std::uint64_t>(GetParam()) * 90001ULL + 3);
+
+  // Break one invariant, rotating over mutation kinds by seed.
+  switch (GetParam() % 3) {
+    case 0: {  // declared output shape no longer matches the op semantics
+      TensorId victim = g.OutputIds().front();
+      std::vector<std::int64_t> dims = g.tensor(victim).shape.dims();
+      dims.front() += 1;
+      g.tensor(victim).shape = Shape(dims);
+      break;
+    }
+    case 1:  // a produced tensor claims to be a graph input
+      g.tensor(g.OutputIds().front()).kind = TensorKind::kInput;
+      break;
+    case 2:  // a consumed boundary tensor claims a producer it lacks
+      g.tensor(g.InputIds().front()).kind = TensorKind::kIntermediate;
+      break;
+  }
+
+  DiagnosticReport report;
+  VerifyGraph(g, &report);
+  ASSERT_GE(report.error_count(), 1) << "seed " << GetParam() << "\n" << g.ToString();
+  for (const Diagnostic& d : report.diagnostics()) {
+    EXPECT_EQ(d.code.rfind("SFV", 0), 0u) << d.ToString();
+  }
+
+  // The compiler's entry check rejects the same graph with the SFV codes
+  // embedded in the returned status rather than crashing.
+  Compiler compiler{CompileOptions(AmpereA100())};
+  StatusOr<CompiledSubprogram> compiled = compiler.Compile(g);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(compiled.status().message().find("SFV"), std::string::npos)
+      << compiled.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzVerifyRejectTest, ::testing::Range(0, 18));
 
 }  // namespace
 }  // namespace spacefusion
