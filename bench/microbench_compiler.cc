@@ -5,9 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/spacefusion.h"
-#include "src/support/logging.h"
+#include "src/schedule/lowering.h"
 #include "src/schedule/pipeline.h"
+#include "src/schedule/resource_aware.h"
+#include "src/sim/memory_sim.h"
 #include "src/slicing/slicers.h"
+#include "src/support/logging.h"
+#include "src/tuning/tuner.h"
 
 namespace spacefusion {
 namespace {
@@ -65,6 +69,43 @@ void BM_CompileSubgraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompileSubgraph)->Arg(0)->Arg(1)->Arg(2);
+
+// The tuning hot loop with staged-fidelity screening off (Arg 0) and at the
+// default top-K (Arg 1): the gap between the two is the win the Table 4/5
+// compile-time numbers ride on.
+void BM_TuneKernelMha(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, 1024, 1024, 64);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  CostModel cost(AmpereA100());
+  auto sliced = ResourceAwareSlicing(g, rc);
+  SF_CHECK(sliced.ok());
+  TunerOptions options;
+  options.screen_top_k = state.range(0) == 0 ? 0 : -1;
+  for (auto _ : state) {
+    SlicingResult work = *sliced;
+    TuningStats stats = TuneKernel(&work, cost, rc, options);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_TuneKernelMha)->Arg(0)->Arg(1);
+
+// Trace-driven memory simulation of one lowered MHA kernel with the
+// reuse-distance streaming shortcut off (Arg 0) and on (Arg 1).
+void BM_MemorySimKernel(benchmark::State& state) {
+  Graph g = BuildMha(32 * 12, 1024, 1024, 64);
+  ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
+  auto sliced = ResourceAwareSlicing(g, rc);
+  SF_CHECK(sliced.ok());
+  AddressMap am;
+  KernelSpec spec = LowerSchedule(sliced->schedule, &am);
+  for (auto _ : state) {
+    MemorySim sim(AmpereA100());
+    sim.set_streaming_shortcut(state.range(0) != 0);
+    ExecutionReport rep = sim.Run({spec});
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_MemorySimKernel)->Arg(0)->Arg(1);
 
 void BM_CompileBertModel(benchmark::State& state) {
   ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, 32, 512));

@@ -171,6 +171,7 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   bool have_best = false;
   double total_tuning_s = 0.0;
   int tried = 0;
+  int screened = 0;
 
   for (ProgramCandidate& candidate : pipeline.candidates) {
     CompiledSubprogram compiled;
@@ -197,6 +198,7 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
       for (const TuningStats& stats : kernel_stats) {
         total_tuning_s += stats.simulated_tuning_seconds;
         tried += stats.configs_tried;
+        screened += stats.configs_screened;
         compiled.tuning.configs_early_quit += stats.configs_early_quit;
       }
     } else {
@@ -234,10 +236,13 @@ StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
   best.compile_time.slicing_ms = std::max(0.0, pipeline_ms - enum_ms);
   best.compile_time.enum_cfg_ms = enum_ms;
   best.compile_time.tuning_s = total_tuning_s;
+  best.tuning.configs_screened = screened;
   best.tuning.configs_tried = tried;
   best.tuning.best_time_us = best.estimate.time_us;
   best.tuning.simulated_tuning_seconds = total_tuning_s;
-  compile_span.Arg("configs_tried", tried).Arg("best_us", best.estimate.time_us);
+  compile_span.Arg("configs_screened", screened)
+      .Arg("configs_tried", tried)
+      .Arg("best_us", best.estimate.time_us);
 
   // Phase boundary 2: the chosen program — per-kernel SMG build, slicing
   // and memory-plan legality, plus inter-kernel dependency order against

@@ -206,6 +206,142 @@ KernelSpec LowerSchedule(const SmgSchedule& schedule, AddressMap* addresses) {
   return spec;
 }
 
+ScreenContext MakeScreenContext(const SmgSchedule& schedule) {
+  const Graph& graph = schedule.graph;
+  ScreenContext ctx;
+  std::vector<bool> downstream = DownstreamOfRunningReductions(schedule);
+  for (const Op& op : graph.ops()) {
+    std::int64_t base = FullOpFlops(graph, op);
+    SpaceId iter = schedule.built.op_space[static_cast<size_t>(op.id)];
+    bool in_temporal =
+        schedule.has_temporal && schedule.built.smg.space(iter).HasDim(schedule.temporal.dim);
+    bool recomputed = false;
+    if (schedule.has_temporal && !in_temporal) {
+      for (TensorId in : op.inputs) {
+        if (downstream[static_cast<size_t>(in)]) {
+          recomputed = true;
+          break;
+        }
+      }
+    }
+    if (recomputed) {
+      ctx.flops_temporal += base;
+    } else {
+      ctx.flops_static += base;
+    }
+  }
+  for (const TensorInfo& t : graph.tensors()) {
+    if (t.kind == TensorKind::kOutput) {
+      ctx.write_bytes += t.bytes();
+    }
+  }
+  return ctx;
+}
+
+ConfigFootprint ComputeConfigFootprint(const SmgSchedule& schedule) {
+  const Graph& graph = schedule.graph;
+  const Smg& smg = schedule.built.smg;
+
+  ConfigFootprint fp;
+  fp.grid = schedule.NumBlocks();
+  fp.intra_steps = schedule.NumIntraBlocks();
+  // Same floors LowerSchedule applies, so occupancy math matches exactly.
+  fp.smem_bytes = std::max<std::int64_t>(schedule.memory.smem_bytes, 1024);
+  fp.reg_bytes = std::max<std::int64_t>(schedule.memory.reg_bytes, 16 * 1024);
+
+  double min_eff = 1.0;
+  bool has_matmul = false;
+  for (const Op& op : graph.ops()) {
+    SpaceId iter = schedule.built.op_space[static_cast<size_t>(op.id)];
+    std::int64_t tile = 1;
+    for (DimId d : smg.space(iter).dims) {
+      tile *= schedule.TileExtent(d);
+    }
+    fp.max_tile_elems = std::max(fp.max_tile_elems, tile);
+
+    if (op.kind == OpKind::kMatMul) {
+      has_matmul = true;
+      const Shape& out = graph.tensor(op.output).shape;
+      std::int64_t tile_m = out.dim(out.rank() - 2);
+      std::int64_t tile_n = out.dim(out.rank() - 1);
+      SpaceId out_space = schedule.built.tensor_space[static_cast<size_t>(op.output)];
+      std::vector<std::int64_t> tiles;
+      for (DimId d : smg.space(out_space).dims) {
+        tiles.push_back(schedule.TileExtent(d));
+      }
+      if (tiles.size() >= 2) {
+        std::sort(tiles.begin(), tiles.end());
+        tile_m = tiles[tiles.size() - 2];
+        tile_n = tiles[tiles.size() - 1];
+      } else if (tiles.size() == 1) {
+        tile_m = tiles[0];
+        tile_n = tiles[0];
+      }
+      min_eff = std::min(min_eff, MatmulTileEfficiency(tile_m, tile_n));
+    }
+  }
+  fp.compute_eff = has_matmul ? min_eff : 0.5;
+
+  for (const TensorInfo& t : graph.tensors()) {
+    if (t.kind != TensorKind::kInput && t.kind != TensorKind::kWeight) {
+      continue;
+    }
+    SpaceId sid = schedule.built.tensor_space[static_cast<size_t>(t.id)];
+    const Space& space = smg.space(sid);
+    std::int64_t per_block = space.elem_bytes;
+    for (DimId d : space.dims) {
+      bool is_spatial = false;
+      for (const DimSlice& s : schedule.spatial) {
+        if (s.dim == d) {
+          per_block *= std::min(s.block, smg.dim(d).extent);
+          is_spatial = true;
+          break;
+        }
+      }
+      if (!is_spatial) {
+        per_block *= smg.dim(d).extent;
+      }
+    }
+    MemLevel level = schedule.memory.tensor_level[static_cast<size_t>(t.id)];
+    double touches = level == MemLevel::kGlobalStreamed
+                         ? static_cast<double>(std::max<size_t>(1, graph.consumers(t.id).size()))
+                         : 1.0;
+    double total = static_cast<double>(per_block) * static_cast<double>(fp.grid) *
+                   std::max(1.0, touches);
+    fp.read_traffic_bytes += static_cast<std::int64_t>(total);
+    fp.read_dram_lb_bytes += std::min(t.bytes(), static_cast<std::int64_t>(total));
+  }
+  return fp;
+}
+
+KernelSpec LowerForScreening(const ScreenContext& ctx, const ConfigFootprint& fp) {
+  KernelSpec spec;
+  spec.grid = fp.grid;
+  spec.threads_per_block = fp.max_tile_elems >= 16384 ? 256 : 128;
+  spec.smem_per_block = fp.smem_bytes;
+  spec.regs_per_block_bytes = fp.reg_bytes;
+  spec.flops = ctx.flops_static + ctx.flops_temporal * fp.intra_steps;
+  spec.compute_efficiency = fp.compute_eff;
+  spec.bandwidth_efficiency = 0.92;  // matches LowerSchedule
+  if (fp.read_traffic_bytes > 0) {
+    TensorTraffic read;
+    // One aggregated operand. per_block is floor-divided so the L2 term stays
+    // a lower bound of the exact per-operand sum; unique carries the
+    // no-reuse DRAM lower bound computed per operand at enumeration time.
+    read.unique_bytes = fp.read_dram_lb_bytes;
+    read.per_block_bytes = fp.read_traffic_bytes / std::max<std::int64_t>(1, fp.grid);
+    spec.reads.push_back(std::move(read));
+  }
+  if (ctx.write_bytes > 0) {
+    TensorTraffic write;
+    write.unique_bytes = ctx.write_bytes;
+    write.per_block_bytes =
+        std::max<std::int64_t>(1, ctx.write_bytes / std::max<std::int64_t>(1, fp.grid));
+    spec.writes.push_back(std::move(write));
+  }
+  return spec;
+}
+
 std::vector<KernelSpec> LowerProgram(const ScheduledProgram& program, AddressMap* addresses) {
   std::vector<KernelSpec> kernels;
   kernels.reserve(program.kernels.size());

@@ -41,8 +41,8 @@ StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceC
       sched.spatial.push_back(s);
     }
 
-    std::vector<ScheduleConfig> spatial_configs =
-        EnumerateConfigs(&sched, rc, /*include_temporal=*/false, options.search);
+    std::vector<ScheduleConfig> spatial_configs = EnumerateConfigs(
+        &sched, rc, /*include_temporal=*/false, options.search, &result.footprints);
     for (ScheduleConfig& c : spatial_configs) {
       result.configs.push_back(std::move(c));
     }
@@ -64,8 +64,8 @@ StatusOr<SlicingResult> ResourceAwareSlicing(const Graph& graph, const ResourceC
       sched.temporal.dim = choice->dim;
       sched.temporal.block = sched.built.smg.dim(choice->dim).extent;
       sched.plan = choice->plan;
-      std::vector<ScheduleConfig> temporal_configs =
-          EnumerateConfigs(&sched, rc, /*include_temporal=*/true, options.search);
+      std::vector<ScheduleConfig> temporal_configs = EnumerateConfigs(
+          &sched, rc, /*include_temporal=*/true, options.search, &result.footprints);
       for (ScheduleConfig& c : temporal_configs) {
         result.configs.push_back(std::move(c));
       }

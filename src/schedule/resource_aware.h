@@ -26,6 +26,9 @@ struct SlicingOptions {
 struct SlicingResult {
   SmgSchedule schedule;                 // slicing decisions (block sizes TBD)
   std::vector<ScheduleConfig> configs;  // feasible search space
+  // Parallel to `configs`: the screening footprint captured while each
+  // config was applied during enumeration (tuner stage-1 input).
+  std::vector<ConfigFootprint> footprints;
 };
 
 // Runs Algorithm 1 on a subprogram. Fails with kUnschedulable when the SMG

@@ -47,6 +47,21 @@ struct ScheduleConfig {
   std::string ToString() const;
 };
 
+// Cheap per-config summary captured at enumeration time (while the config is
+// applied and memory-planned): the inputs to the tuner's screening estimate
+// and to dominance pruning, so neither has to re-run ApplyConfig, PlanMemory,
+// or lowering per config.
+struct ConfigFootprint {
+  std::int64_t smem_bytes = 0;          // shared memory per block (post-plan)
+  std::int64_t reg_bytes = 0;           // register bytes per block (post-plan)
+  std::int64_t grid = 1;                // parallelism: number of SMG blocks
+  std::int64_t intra_steps = 1;         // serial intra-blocks (1 w/o temporal)
+  std::int64_t max_tile_elems = 0;      // biggest op tile (thread-count proxy)
+  std::int64_t read_traffic_bytes = 0;  // L2-level read traffic, summed exactly
+  std::int64_t read_dram_lb_bytes = 0;  // per-operand min(unique, traffic) sum
+  double compute_eff = 1.0;             // matmul tile efficiency under config
+};
+
 struct SmgSchedule {
   Graph graph;
   SmgBuildResult built;

@@ -13,6 +13,10 @@
 
 namespace spacefusion {
 
+// Default for SearchOptions::prune_dominated, from SPACEFUSION_PRUNE_DOMINATED
+// (unset/0 => false). Cached after the first read.
+bool PruneDominatedFromEnv();
+
 struct SearchOptions {
   // Largest tile extent enumerated along any dim.
   std::int64_t max_block = 256;
@@ -21,15 +25,25 @@ struct SearchOptions {
   std::int64_t min_block = 1;
   // Hard cap on emitted configs (exhaustive tuning stays cheap).
   int max_configs = 256;
+  // Skip configs whose footprint is strictly dominated in (smem footprint,
+  // projected read traffic, parallelism) by an already-kept feasible config.
+  // Off by default: pruning shrinks the enumerated space itself, which the
+  // Table 4/5 sweep sizes and the full-mode verifier observe.
+  bool prune_dominated = PruneDominatedFromEnv();
 };
 
 // Enumerates resource-feasible block-size configurations for the schedule.
 // `include_temporal` additionally sweeps the temporal step when the
 // schedule has a temporal dim. The schedule's block sizes are left at the
 // last probed config; callers re-apply the chosen config.
+//
+// When `footprints` is non-null a ConfigFootprint is appended for every
+// returned config (same order), captured while the config was applied — the
+// input to the tuner's screening stage.
 std::vector<ScheduleConfig> EnumerateConfigs(SmgSchedule* schedule, const ResourceConfig& rc,
                                              bool include_temporal,
-                                             const SearchOptions& options = SearchOptions());
+                                             const SearchOptions& options = SearchOptions(),
+                                             std::vector<ConfigFootprint>* footprints = nullptr);
 
 }  // namespace spacefusion
 

@@ -17,50 +17,92 @@ SetAssociativeCache::SetAssociativeCache(std::int64_t capacity_bytes, int line_b
   ways_.assign(static_cast<size_t>(num_sets_ * assoc_), Way{});
 }
 
-bool SetAssociativeCache::Access(std::int64_t address) {
+bool SetAssociativeCache::ProbeLine(std::int64_t line) {
   ++tick_;
-  ++stats_.accesses;
-  std::int64_t line = address / line_bytes_;
   std::int64_t set = line % num_sets_;
   Way* base = &ways_[static_cast<size_t>(set * assoc_)];
 
   Way* victim = base;
   for (int w = 0; w < assoc_; ++w) {
     Way& way = base[w];
-    if (way.tag == line) {
-      way.last_use = tick_;
-      ++stats_.hits;
-      return true;
-    }
-    if (way.last_use < victim->last_use || victim->tag == line) {
-      victim = &way;
-    }
-    if (way.tag == -1) {
+    if (way.epoch != epoch_) {
+      // Empty in this epoch. Fills are left-to-right within an epoch, so no
+      // valid tag can live beyond this way — install here.
       victim = &way;
       break;
+    }
+    if (way.tag == line) {
+      way.last_use = tick_;
+      return true;
+    }
+    if (way.last_use < victim->last_use) {
+      victim = &way;
     }
   }
   victim->tag = line;
   victim->last_use = tick_;
+  victim->epoch = epoch_;
+  return false;
+}
+
+bool SetAssociativeCache::Access(std::int64_t address) {
+  ++stats_.accesses;
+  if (ProbeLine(address / line_bytes_)) {
+    ++stats_.hits;
+    return true;
+  }
   ++stats_.misses;
   return false;
 }
 
-std::int64_t SetAssociativeCache::AccessRange(std::int64_t base, std::int64_t bytes) {
+std::int64_t SetAssociativeCache::AccessRange(std::int64_t base, std::int64_t bytes,
+                                              std::vector<std::int64_t>* missed_lines) {
+  if (bytes <= 0) {
+    return 0;
+  }
   std::int64_t first_line = base / line_bytes_;
   std::int64_t last_line = (base + bytes - 1) / line_bytes_;
   std::int64_t misses = 0;
   for (std::int64_t line = first_line; line <= last_line; ++line) {
-    if (!Access(line * line_bytes_)) {
+    if (!ProbeLine(line)) {
       ++misses;
+      if (missed_lines != nullptr) {
+        missed_lines->push_back(line * line_bytes_);
+      }
     }
   }
+  std::int64_t accesses = last_line - first_line + 1;
+  stats_.accesses += accesses;
+  stats_.hits += accesses - misses;
+  stats_.misses += misses;
   return misses;
 }
 
+std::int64_t SetAssociativeCache::AccessLines(const std::vector<std::int64_t>& line_addresses,
+                                              std::vector<std::int64_t>* missed_lines) {
+  std::int64_t misses = 0;
+  for (std::int64_t address : line_addresses) {
+    if (!ProbeLine(address / line_bytes_)) {
+      ++misses;
+      if (missed_lines != nullptr) {
+        missed_lines->push_back(address);
+      }
+    }
+  }
+  stats_.accesses += static_cast<std::int64_t>(line_addresses.size());
+  stats_.hits += static_cast<std::int64_t>(line_addresses.size()) - misses;
+  stats_.misses += misses;
+  return misses;
+}
+
+void SetAssociativeCache::RecordBypass(std::int64_t accesses, std::int64_t misses) {
+  stats_.accesses += accesses;
+  stats_.hits += accesses - misses;
+  stats_.misses += misses;
+}
+
 void SetAssociativeCache::Reset() {
-  ways_.assign(ways_.size(), Way{});
-  tick_ = 0;
+  ++epoch_;
   stats_ = CacheStats{};
 }
 

@@ -17,8 +17,14 @@ struct CacheStats {
 };
 
 // A classic set-associative cache with true-LRU replacement. Addresses are
-// byte addresses in a flat simulated address space; AccessRange touches every
-// line a [base, base+bytes) range covers.
+// byte addresses in a flat simulated address space.
+//
+// AccessRange / AccessLines are the primary entry points for the simulator's
+// hot loop: they make the same per-line replacement decisions as a loop of
+// Access calls but fold the whole batch into the stats with a single update,
+// and AccessRange can hand the caller the miss stream the next cache level
+// observes. Reset is O(1) via an epoch counter, so clearing a per-SM L1
+// between sampled blocks does not rewrite the tag array.
 class SetAssociativeCache {
  public:
   SetAssociativeCache(std::int64_t capacity_bytes, int line_bytes, int associativity);
@@ -26,8 +32,21 @@ class SetAssociativeCache {
   // Touches one line; returns true on hit.
   bool Access(std::int64_t address);
 
-  // Touches all lines of a byte range; returns the number of misses.
-  std::int64_t AccessRange(std::int64_t base, std::int64_t bytes);
+  // Touches all lines of a byte range; returns the number of misses. When
+  // `missed_lines` is non-null the byte address of every missing line is
+  // appended in range order — the access stream the next level sees.
+  std::int64_t AccessRange(std::int64_t base, std::int64_t bytes,
+                           std::vector<std::int64_t>* missed_lines = nullptr);
+
+  // Probes a batch of line addresses (e.g. the missed_lines output of an
+  // upstream AccessRange); returns the number of misses.
+  std::int64_t AccessLines(const std::vector<std::int64_t>& line_addresses,
+                           std::vector<std::int64_t>* missed_lines = nullptr);
+
+  // Folds analytically derived traffic into the stats without touching the
+  // tag arrays — bookkeeping for the reuse-distance shortcut, which proves
+  // the hit/miss split in closed form instead of replaying lines.
+  void RecordBypass(std::int64_t accesses, std::int64_t misses);
 
   void Reset();
 
@@ -39,7 +58,11 @@ class SetAssociativeCache {
   struct Way {
     std::int64_t tag = -1;
     std::uint64_t last_use = 0;
+    std::uint64_t epoch = 0;  // valid only when equal to the cache's epoch_
   };
+
+  // Probes one line with no stats bookkeeping; returns true on hit.
+  bool ProbeLine(std::int64_t line);
 
   std::int64_t capacity_;
   int line_bytes_;
@@ -47,6 +70,7 @@ class SetAssociativeCache {
   std::int64_t num_sets_;
   std::vector<Way> ways_;  // num_sets_ * assoc_
   std::uint64_t tick_ = 0;
+  std::uint64_t epoch_ = 1;
   CacheStats stats_;
 };
 

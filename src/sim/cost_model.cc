@@ -96,6 +96,46 @@ KernelCost CostModel::EstimateKernel(const KernelSpec& kernel) const {
   return cost;
 }
 
+double CostModel::ScreenKernel(const KernelSpec& kernel) const {
+  SF_COUNTER_ADD("sim.kernels_screened", 1);
+  int bps = BlocksPerSm(kernel);
+  if (bps == 0) {
+    return 1e12;
+  }
+
+  std::int64_t concurrent = static_cast<std::int64_t>(bps) * arch_.num_sms;
+  std::int64_t waves = CeilDiv(std::max<std::int64_t>(kernel.grid, 1), concurrent);
+  double utilization = static_cast<double>(kernel.grid) / static_cast<double>(waves * concurrent);
+  double sm_coverage =
+      std::min(1.0, static_cast<double>(kernel.grid) / static_cast<double>(arch_.num_sms));
+
+  double peak_flops = arch_.fp16_tflops * 1e6;
+  double eff = std::max(0.01, kernel.compute_efficiency * std::max(utilization, sm_coverage * 0.5));
+  double compute_us = static_cast<double>(kernel.flops) / (peak_flops * eff);
+
+  // No-reuse lower bound on read traffic: every operand costs at least its
+  // footprint (or its full streamed volume if that is smaller), and
+  // DramReadBytes only ever adds spill re-reads on top of that.
+  std::int64_t dram_bytes = 0;
+  double l2_bytes = 0;
+  for (const TensorTraffic& r : kernel.reads) {
+    double total = static_cast<double>(r.per_block_bytes) * static_cast<double>(kernel.grid) *
+                   std::max(1.0, r.touches_per_byte);
+    dram_bytes += std::min(r.unique_bytes, static_cast<std::int64_t>(total));
+    l2_bytes += total;
+  }
+  for (const TensorTraffic& w : kernel.writes) {
+    dram_bytes += w.unique_bytes;
+    l2_bytes += static_cast<double>(w.unique_bytes);
+  }
+  double bw_frac =
+      std::min(1.0, 0.12 + 0.88 * sm_coverage) * std::max(0.1, kernel.bandwidth_efficiency);
+  double dram_us = static_cast<double>(dram_bytes) / (arch_.dram_gbps * 1e3 * bw_frac);
+  double l2_us = l2_bytes / (arch_.l2_gbps * 1e3 * bw_frac);
+
+  return arch_.launch_overhead_us + std::max(compute_us, std::max(dram_us, l2_us));
+}
+
 ExecutionReport CostModel::Estimate(const std::vector<KernelSpec>& kernels) const {
   ScopedSpan span("sim.cost_estimate", "simulate");
   ExecutionReport report;

@@ -39,6 +39,13 @@ class CostModel {
 
   KernelCost EstimateKernel(const KernelSpec& kernel) const;
 
+  // Cheap screening score for the staged-fidelity tuner: a provable lower
+  // bound on EstimateKernel(kernel).time_us for the same spec. Occupancy,
+  // compute, and L2 terms are identical; the DRAM term drops the L2-spill
+  // re-read model and charges only min(unique, streamed) bytes per operand,
+  // which can never exceed DramReadBytes.
+  double ScreenKernel(const KernelSpec& kernel) const;
+
   // Sums kernel costs (kernels execute back-to-back on one stream).
   ExecutionReport Estimate(const std::vector<KernelSpec>& kernels) const;
 

@@ -55,6 +55,22 @@ void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
 
   std::int64_t sim_blocks = 0;
   std::int64_t l1_acc = 0, l1_miss = 0, l2_acc = 0, l2_miss = 0, dram = 0;
+  std::int64_t traced_lines = 0, analytic_lines = 0;
+  std::vector<std::int64_t> missed;  // L1 miss stream handed to L2, reused per range.
+
+  const std::int64_t streaming_floor = kStreamingCapacityMultiple * arch_.l2_bytes;
+  // Closed-form reuse-distance shortcut: a block-private operand touched at
+  // most once whose footprint is >= 2x L2 capacity provably misses on every
+  // line. The stream is ascending and each line is referenced once per sweep,
+  // so under true LRU a line is evicted (by at least capacity bytes of newer
+  // installs) before any later sweep or kernel could re-reference it, and the
+  // residue an earlier kernel left in L2 occupies the top-of-range addresses
+  // while the stream starts at the bottom. L1 is reset per block and the
+  // operand is touched once within the block, so L1 misses every line too.
+  auto streams_past_l2 = [&](const TensorTraffic& r) {
+    return streaming_shortcut_ && !r.shared_across_blocks && r.touches_per_byte <= 1.0 &&
+           r.unique_bytes > r.per_block_bytes && r.unique_bytes >= streaming_floor;
+  };
 
   for (std::int64_t b = 0; b < kernel.grid; b += stride) {
     ++sim_blocks;
@@ -71,6 +87,7 @@ void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
         base = r.base_address + (b * r.per_block_bytes) % std::max<std::int64_t>(
                                     1, r.unique_bytes - r.per_block_bytes + 1);
       }
+      const bool analytic = streams_past_l2(r);
       // Whole passes plus one partial pass approximating the average
       // touches-per-byte of this operand within a block.
       double touches = std::max(1.0, r.touches_per_byte);
@@ -84,17 +101,27 @@ void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
         }
         std::int64_t first = base / line;
         std::int64_t last = (base + bytes - 1) / line;
-        for (std::int64_t ln = first; ln <= last; ++ln) {
-          ++l1_acc;
-          if (!l1.Access(ln * line)) {
-            ++l1_miss;
-            ++l2_acc;
-            if (!l2_.Access(ln * line)) {
-              ++l2_miss;
-              dram += line;
-            }
-          }
+        std::int64_t lines = last - first + 1;
+        if (analytic) {
+          l1_acc += lines;
+          l1_miss += lines;
+          l2_acc += lines;
+          l2_miss += lines;
+          dram += lines * line;
+          l1.RecordBypass(lines, lines);
+          l2_.RecordBypass(lines, lines);
+          analytic_lines += lines;
+          continue;
         }
+        missed.clear();
+        std::int64_t m1 = l1.AccessRange(base, bytes, &missed);
+        std::int64_t m2 = l2_.AccessLines(missed);
+        l1_acc += lines;
+        l1_miss += m1;
+        l2_acc += m1;
+        l2_miss += m2;
+        dram += m2 * line;
+        traced_lines += lines;
       }
     }
     for (const TensorTraffic& w : kernel.writes) {
@@ -106,16 +133,34 @@ void MemorySim::RunKernel(const KernelSpec& kernel, ExecutionReport* report) {
       }
       std::int64_t base = w.base_address + (b * per_block) % std::max<std::int64_t>(1, w.unique_bytes);
       // Write-through no-allocate at L1; lines are installed in L2 and the
-      // dirty data eventually reaches DRAM.
-      std::int64_t first = base / line;
-      std::int64_t last = (base + per_block - 1) / line;
-      for (std::int64_t ln = first; ln <= last; ++ln) {
-        ++l2_acc;
-        l2_.Access(ln * line);
-        dram += line;
+      // dirty data eventually reaches DRAM. The range is clamped to the
+      // tensor's unique region: a block stride can place `base` near the end
+      // of the tensor, and an unclamped `base + per_block - 1` would walk
+      // cache lines past it.
+      std::int64_t end = std::min(base + per_block - 1, w.base_address + w.unique_bytes - 1);
+      if (end < base) {
+        continue;
       }
+      std::int64_t first = base / line;
+      std::int64_t last = end / line;
+      std::int64_t lines = last - first + 1;
+      if (streaming_shortcut_ && w.unique_bytes >= streaming_floor) {
+        // Same eviction argument as for streaming reads: an ascending
+        // write-once stream >= 2x capacity installs every line as a miss.
+        l2_.RecordBypass(lines, lines);
+        analytic_lines += lines;
+      } else {
+        l2_.AccessRange(base, end - base + 1);
+        traced_lines += lines;
+      }
+      l2_acc += lines;
+      dram += lines * line;
     }
   }
+
+  SF_COUNTER_ADD("sim.lines_traced", traced_lines);
+  SF_COUNTER_ADD("sim.lines_analytic", analytic_lines);
+  span.Arg("traced_lines", traced_lines).Arg("analytic_lines", analytic_lines);
 
   if (sim_blocks == 0) {
     return;

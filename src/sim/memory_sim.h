@@ -29,12 +29,22 @@ class MemorySim {
   // sampling kicks in.
   void set_access_budget(std::int64_t budget) { access_budget_ = budget; }
 
+  // Disables the closed-form reuse-distance shortcut for streaming operands,
+  // forcing every line through the trace path (for A/B tests and benchmarks).
+  void set_streaming_shortcut(bool enabled) { streaming_shortcut_ = enabled; }
+
+  // An operand qualifies for the analytical shortcut only when its footprint
+  // is at least this multiple of L2 capacity: far enough past capacity that
+  // under true LRU every line is provably evicted before any re-reference.
+  static constexpr std::int64_t kStreamingCapacityMultiple = 2;
+
  private:
   void RunKernel(const KernelSpec& kernel, ExecutionReport* report);
 
   GpuArch arch_;
   SetAssociativeCache l2_;
   std::int64_t access_budget_ = 4'000'000;
+  bool streaming_shortcut_ = true;
 };
 
 }  // namespace spacefusion

@@ -1,7 +1,10 @@
 #include "src/tuning/tuner.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <numeric>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -39,6 +42,17 @@ std::uint64_t ScheduleSignature(const SmgSchedule& schedule, const GpuArch& arch
 
 }  // namespace
 
+int ScreenTopKFromEnv() {
+  static const int cached = [] {
+    const char* env = std::getenv("SPACEFUSION_SCREEN_TOPK");
+    if (env == nullptr || *env == '\0') {
+      return -1;
+    }
+    return std::atoi(env);
+  }();
+  return cached;
+}
+
 TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const ResourceConfig& rc,
                        const TunerOptions& options, CostCache* cache) {
   ScopedSpan span("tuner.measure", "tuning");
@@ -50,17 +64,72 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
 
   const std::uint64_t sig =
       cache != nullptr ? ScheduleSignature(result->schedule, cost.arch(), rc) : 0;
-
-  // Measurement sweep: every config's cost lands in its own indexed slot,
-  // so the parallel sweep computes exactly what the serial loop would.
-  // Each chunk clones the schedule once and probes its configs on the
-  // clone, keeping ApplyConfig/PlanMemory off shared state.
-  std::vector<double> time_us(static_cast<size_t>(n));
   PhaseAccumulator* phases = obs_internal::CurrentPhaseAccumulator();
-  GlobalThreadPool().ParallelFor(n, [&, phases](std::int64_t begin, std::int64_t end) {
+
+  // ---- Stage 1: analytical screening --------------------------------------
+  // Every config gets a closed-form lower-bound score from its enumeration
+  // footprint (no ApplyConfig / PlanMemory / lowering). The screened top-K
+  // plus the guaranteed-admission epsilon band reach full fidelity; the rest
+  // are dropped. Scores land in indexed slots and the selection scan is
+  // serial, so admission is bit-identical across SPACEFUSION_JOBS.
+  const std::int64_t top_k = options.screen_top_k < 0
+                                 ? std::max<std::int64_t>(8, n / 10)
+                                 : static_cast<std::int64_t>(options.screen_top_k);
+  const bool screening = top_k > 0 && top_k < n &&
+                         result->footprints.size() == result->configs.size();
+  std::vector<std::int64_t> admitted;  // ascending indices into configs
+  if (screening) {
+    ScopedSpan screen_span("tuner.screen", "tuning");
+    const ScreenContext ctx = MakeScreenContext(result->schedule);
+    std::vector<double> score(static_cast<size_t>(n));
+    GlobalThreadPool().ParallelFor(n, [&, phases](std::int64_t begin, std::int64_t end) {
+      ScopedPhaseHandoff handoff(phases);
+      for (std::int64_t i = begin; i < end; ++i) {
+        score[static_cast<size_t>(i)] =
+            cost.ScreenKernel(LowerForScreening(ctx, result->footprints[static_cast<size_t>(i)]));
+      }
+    });
+    std::vector<std::int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&score](std::int64_t a, std::int64_t b) {
+      double sa = score[static_cast<size_t>(a)], sb = score[static_cast<size_t>(b)];
+      return sa < sb || (sa == sb && a < b);
+    });
+    std::vector<char> admit(static_cast<size_t>(n), 0);
+    for (std::int64_t k = 0; k < top_k; ++k) {
+      admit[static_cast<size_t>(order[static_cast<size_t>(k)])] = 1;
+    }
+    const double band = score[static_cast<size_t>(order[0])] * (1.0 + options.screen_epsilon);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (score[static_cast<size_t>(i)] <= band) {
+        admit[static_cast<size_t>(i)] = 1;
+      }
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (admit[static_cast<size_t>(i)] != 0) {
+        admitted.push_back(i);
+      }
+    }
+    stats.configs_screened = static_cast<int>(n);
+    SF_COUNTER_ADD("tuner.configs_screened", n);
+    screen_span.Arg("screened", n).Arg("admitted", static_cast<std::int64_t>(admitted.size()));
+  } else {
+    admitted.resize(static_cast<size_t>(n));
+    std::iota(admitted.begin(), admitted.end(), 0);
+  }
+
+  // ---- Stage 2: full-fidelity measurement sweep ---------------------------
+  // Every admitted config's cost lands in its own indexed slot, so the
+  // parallel sweep computes exactly what the serial loop would. Each chunk
+  // clones the schedule once and probes its configs on the clone, keeping
+  // ApplyConfig/PlanMemory off shared state.
+  std::vector<double> time_us(static_cast<size_t>(n));
+  const std::int64_t n_admitted = static_cast<std::int64_t>(admitted.size());
+  GlobalThreadPool().ParallelFor(n_admitted, [&, phases](std::int64_t begin, std::int64_t end) {
     ScopedPhaseHandoff handoff(phases);
     SmgSchedule local = result->schedule;
-    for (std::int64_t i = begin; i < end; ++i) {
+    for (std::int64_t j = begin; j < end; ++j) {
+      const std::int64_t i = admitted[static_cast<size_t>(j)];
       const ScheduleConfig& config = result->configs[static_cast<size_t>(i)];
       auto eval = [&]() -> KernelCost {
         local.ApplyConfig(config);
@@ -78,12 +147,13 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
   // wins ties) and the early-quit accounting. The accounting keeps modeling
   // the *serial* on-GPU measurement schedule — 20 warm-up + 100 timed runs
   // per config, abandoned at alpha x the incumbent's total — so Table 4/5's
-  // simulated tuning seconds are independent of host-side parallelism.
+  // simulated tuning seconds are independent of host-side parallelism. Only
+  // admitted configs are measured on the modeled GPU.
   std::int64_t best_idx = -1;
   double best_time = 0.0;
   double best_total = 0.0;  // incumbent's full measurement time (us)
   const int total_runs = options.warmup_runs + options.timed_runs;
-  for (std::int64_t i = 0; i < n; ++i) {
+  for (std::int64_t i : admitted) {
     double t = time_us[static_cast<size_t>(i)];
     ++stats.configs_tried;
 
@@ -114,7 +184,8 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
   SF_COUNTER_ADD("tuner.configs_tried", stats.configs_tried);
   SF_COUNTER_ADD("tuner.configs_early_quit", stats.configs_early_quit);
   SF_HISTOGRAM_OBSERVE("tuner.kernel_best_us", stats.best_time_us);
-  span.Arg("configs_tried", stats.configs_tried)
+  span.Arg("configs_screened", stats.configs_screened)
+      .Arg("configs_tried", stats.configs_tried)
       .Arg("early_quit", stats.configs_early_quit)
       .Arg("best_us", stats.best_time_us)
       .Arg("simulated_s", stats.simulated_tuning_seconds);

@@ -7,13 +7,21 @@
 // early-quit mechanism abandons a configuration once its accumulated test
 // time exceeds alpha (=0.25) of the incumbent best configuration's total.
 //
+// Evaluation is staged: a closed-form screening pass (CostModel::ScreenKernel
+// over the ConfigFootprints captured at enumeration — no lowering, no trace)
+// scores every config, and only the screened top-K plus every config within
+// screen_epsilon of the screened best proceed to full EstimateKernel
+// fidelity. The screen score is a lower bound of the full estimate, and the
+// epsilon band guarantees near-ties are never dropped on screen noise.
+//
 // Host-side evaluation is parallelized over the global thread pool
 // (SPACEFUSION_JOBS), but the result is bit-identical to the serial sweep:
 // per-config costs are written to indexed slots, the argmin is a serial
 // scan (lowest index wins ties), and the early-quit charge is re-derived
 // from that scan's incumbent — the modeled GPU still measures configs one
 // after another, so simulated_tuning_seconds never depends on the job
-// count.
+// count. simulated_tuning_seconds covers the configs that reach full
+// evaluation: those are the ones the modeled GPU measures.
 #ifndef SPACEFUSION_SRC_TUNING_TUNER_H_
 #define SPACEFUSION_SRC_TUNING_TUNER_H_
 
@@ -25,18 +33,31 @@ namespace spacefusion {
 class CostCache;
 
 struct TuningStats {
-  int configs_tried = 0;
+  int configs_screened = 0;  // configs scored by stage 1 (0 = screening inactive)
+  int configs_tried = 0;     // configs that reached full-fidelity evaluation
   int configs_early_quit = 0;
   double best_time_us = 0.0;
   // Emulated wall-clock the measurement runs would take on the GPU.
   double simulated_tuning_seconds = 0.0;
 };
 
+// Default for TunerOptions::screen_top_k, from SPACEFUSION_SCREEN_TOPK:
+// unset => -1 (auto), 0 disables screening, k > 0 pins the stage-1 cut.
+// Cached after the first read.
+int ScreenTopKFromEnv();
+
 struct TunerOptions {
   double early_quit_alpha = 0.25;
   int warmup_runs = 20;
   int timed_runs = 100;
   bool enable_early_quit = true;
+  // Stage-1 screening cut: -1 = auto (max(8, 10% of the sweep)), 0 = off,
+  // k > 0 = exactly k configs (plus the guaranteed-admission band).
+  int screen_top_k = ScreenTopKFromEnv();
+  // Guaranteed admission: any config whose screen score is within this
+  // relative margin of the screened best is always fully evaluated, even
+  // beyond top-K.
+  double screen_epsilon = 0.02;
 };
 
 // Tunes one kernel in place: applies the best config to `result->schedule`.

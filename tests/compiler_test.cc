@@ -190,7 +190,12 @@ TEST(TunerTest, PicksCostMinimalConfig) {
   ASSERT_TRUE(sliced.ok());
   CostModel cost(AmpereA100());
   TuningStats stats = TuneKernel(&*sliced, cost, rc);
-  EXPECT_EQ(stats.configs_tried, static_cast<int>(sliced->configs.size()));
+  // Screening is on by default: every config is scored by stage 1, only the
+  // admitted subset reaches full fidelity — and the winner must still be the
+  // global optimum (checked against the exhaustive sweep below).
+  EXPECT_EQ(stats.configs_screened, static_cast<int>(sliced->configs.size()));
+  EXPECT_GT(stats.configs_tried, 0);
+  EXPECT_LT(stats.configs_tried, static_cast<int>(sliced->configs.size()));
   EXPECT_GT(stats.best_time_us, 0);
 
   // No config may beat the chosen one.

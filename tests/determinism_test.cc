@@ -33,8 +33,8 @@ SlicingResult MhaSlicingResult(std::int64_t seq) {
 }
 
 bool StatsIdentical(const TuningStats& a, const TuningStats& b) {
-  return a.configs_tried == b.configs_tried && a.configs_early_quit == b.configs_early_quit &&
-         a.best_time_us == b.best_time_us &&
+  return a.configs_screened == b.configs_screened && a.configs_tried == b.configs_tried &&
+         a.configs_early_quit == b.configs_early_quit && a.best_time_us == b.best_time_us &&
          a.simulated_tuning_seconds == b.simulated_tuning_seconds;
 }
 
@@ -127,6 +127,11 @@ TEST_F(DeterminismTest, SimulatedTuningSecondsModelsSerialMeasurement) {
   ResourceConfig rc = ResourceConfig::FromArch(AmpereA100());
   CostModel cost(AmpereA100());
   TunerOptions options;
+  // The serial reference below replays the measurement schedule over the
+  // FULL sweep; disable stage-1 screening so every config reaches the
+  // modeled GPU. (Screening interaction is covered by
+  // ScreeningPreservesSelectionAcrossJobCounts.)
+  options.screen_top_k = 0;
 
   SlicingResult result = MhaSlicingResult(256);
   std::vector<ScheduleConfig> configs = result.configs;
@@ -165,6 +170,48 @@ TEST_F(DeterminismTest, SimulatedTuningSecondsModelsSerialMeasurement) {
   // (Loose relative tolerance: the value must survive libm differences
   // across toolchains, not bit-rot within one.)
   EXPECT_NEAR(stats.simulated_tuning_seconds, 1.14336, 0.01);
+}
+
+// Acceptance gate for staged-fidelity tuning: on every built-in model, the
+// schedules the compiler selects with stage-1 screening enabled (the
+// default) are bit-identical to the exhaustive screening-off sweep, at every
+// job count — and each mode's fingerprint is itself identical across job
+// counts. Only the schedule/program part is compared; tuning *seconds*
+// legitimately shrink when fewer configs reach the modeled GPU.
+TEST_F(DeterminismTest, ScreeningPreservesSelectionAcrossJobCounts) {
+  for (ModelKind kind : AllModelKinds()) {
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/1, /*seq=*/128));
+
+    auto fingerprint = [&](int jobs, int screen_top_k) {
+      ResetGlobalThreadPool(jobs);
+      CompileOptions options(AmpereA100());
+      options.tuner.screen_top_k = screen_top_k;
+      Compiler compiler{options};
+      StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+      EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+      std::string out;
+      for (const CompiledSubprogram& sub : compiled->unique_subprograms) {
+        for (const SmgSchedule& kernel : sub.program.kernels) {
+          out += kernel.ToString();
+        }
+        char line[64];
+        std::snprintf(line, sizeof(line), "est=%.17g\n", sub.estimate.time_us);
+        out += line;
+      }
+      return out;
+    };
+
+    std::string screened_serial = fingerprint(1, /*screen_top_k=*/-1);
+    std::string screened_parallel = fingerprint(8, /*screen_top_k=*/-1);
+    std::string full_serial = fingerprint(1, /*screen_top_k=*/0);
+    std::string full_parallel = fingerprint(8, /*screen_top_k=*/0);
+
+    EXPECT_FALSE(screened_serial.empty()) << ModelKindName(kind);
+    EXPECT_EQ(screened_serial, screened_parallel) << ModelKindName(kind);
+    EXPECT_EQ(full_serial, full_parallel) << ModelKindName(kind);
+    EXPECT_EQ(screened_serial, full_serial)
+        << ModelKindName(kind) << ": screening changed the selected schedule";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+// sf-bench-json: compile-time benchmark emitting machine-readable JSON.
+//
+// Compiles the Table 5 models (BERT, ViT, T5 at batch 32) twice — with the
+// staged-fidelity screening default and with screening disabled — and writes
+// BENCH_compile.json: per model, the wall compile time, the modeled compile
+// seconds (emulated on-GPU tuning + scheduling, the Table 5 metric), the
+// config counts at each fidelity stage, whether both modes selected the same
+// program, and the resulting speedup. CI uploads the file as an artifact;
+// there are no pass/fail thresholds here.
+//
+// Usage: sf-bench-json [output.json]   (default: BENCH_compile.json)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/spacefusion.h"
+#include "src/support/logging.h"
+
+namespace spacefusion {
+namespace {
+
+struct ModeResult {
+  double wall_ms = 0.0;
+  double modeled_s = 0.0;  // Table 5 compile seconds: tuning_s + scheduling
+  long long configs_screened = 0;
+  long long configs_evaluated = 0;
+  std::string fingerprint;
+};
+
+ModeResult CompileOnce(const ModelGraph& model, int screen_top_k) {
+  CompileOptions options(AmpereA100());
+  options.tuner.screen_top_k = screen_top_k;
+  Compiler compiler{options};
+
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  auto end = std::chrono::steady_clock::now();
+  SF_CHECK(compiled.ok()) << compiled.status().ToString();
+
+  ModeResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  r.modeled_s = compiled->compile_time.total_s();
+  for (const CompiledSubprogram& sub : compiled->unique_subprograms) {
+    r.configs_screened += sub.tuning.configs_screened;
+    r.configs_evaluated += sub.tuning.configs_tried;
+    for (const SmgSchedule& kernel : sub.program.kernels) {
+      r.fingerprint += kernel.ToString();
+    }
+  }
+  return r;
+}
+
+int Run(const std::string& out_path) {
+  SetLogThreshold(LogLevel::kWarning);
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+
+  std::fprintf(out, "{\n  \"benchmark\": \"table5_model_compile\",\n  \"arch\": \"A100\",\n");
+  std::fprintf(out, "  \"models\": {\n");
+
+  double speedup_log_sum = 0.0;
+  int n = 0;
+  bool all_identical = true;
+  const ModelKind kinds[] = {ModelKind::kBert, ModelKind::kViT, ModelKind::kT5};
+  for (ModelKind kind : kinds) {
+    std::int64_t seq = kind == ModelKind::kViT ? 224 : 512;
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/32, seq));
+
+    ModeResult screened = CompileOnce(model, /*screen_top_k=*/-1);
+    ModeResult exhaustive = CompileOnce(model, /*screen_top_k=*/0);
+    bool identical = screened.fingerprint == exhaustive.fingerprint;
+    all_identical = all_identical && identical;
+    double speedup = screened.modeled_s > 0 ? exhaustive.modeled_s / screened.modeled_s : 0.0;
+    speedup_log_sum += std::log(std::max(speedup, 1e-12));
+    ++n;
+
+    std::fprintf(out,
+                 "    \"%s\": {\n"
+                 "      \"screened\": {\"compile_ms\": %.3f, \"modeled_compile_s\": %.6f, "
+                 "\"configs_screened\": %lld, \"configs_evaluated\": %lld},\n"
+                 "      \"exhaustive\": {\"compile_ms\": %.3f, \"modeled_compile_s\": %.6f, "
+                 "\"configs_screened\": %lld, \"configs_evaluated\": %lld},\n"
+                 "      \"fingerprint_identical\": %s,\n"
+                 "      \"modeled_speedup\": %.3f,\n"
+                 "      \"wall_speedup\": %.3f\n"
+                 "    }%s\n",
+                 ModelKindName(kind), screened.wall_ms, screened.modeled_s,
+                 screened.configs_screened, screened.configs_evaluated, exhaustive.wall_ms,
+                 exhaustive.modeled_s, exhaustive.configs_screened, exhaustive.configs_evaluated,
+                 identical ? "true" : "false", speedup,
+                 screened.wall_ms > 0 ? exhaustive.wall_ms / screened.wall_ms : 0.0,
+                 kind == ModelKind::kT5 ? "" : ",");
+    std::printf("%-6s modeled %.3fs -> %.3fs (%.2fx), evaluated %lld -> %lld configs, %s\n",
+                ModelKindName(kind), exhaustive.modeled_s, screened.modeled_s, speedup,
+                exhaustive.configs_evaluated, screened.configs_evaluated,
+                identical ? "same program" : "PROGRAM CHANGED");
+  }
+
+  double geomean = n > 0 ? std::exp(speedup_log_sum / n) : 0.0;
+  std::fprintf(out, "  },\n  \"geomean_modeled_speedup\": %.3f,\n", geomean);
+  std::fprintf(out, "  \"all_fingerprints_identical\": %s\n}\n", all_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("geomean modeled compile speedup: %.2fx -> %s\n", geomean, out_path.c_str());
+  return all_identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "BENCH_compile.json";
+  return spacefusion::Run(out);
+}
