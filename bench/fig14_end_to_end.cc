@@ -13,8 +13,7 @@ namespace spacefusion {
 namespace {
 
 double SpaceFusionModelTimeUs(const ModelGraph& model, const GpuArch& arch) {
-  Compiler compiler{CompileOptions(arch)};
-  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, CompileOptions(arch));
   return compiled.ok() ? compiled->total.time_us : -1.0;
 }
 

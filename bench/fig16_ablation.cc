@@ -13,8 +13,7 @@ namespace spacefusion {
 namespace {
 
 double ModelTimeUs(const ModelGraph& model, const CompileOptions& options) {
-  Compiler compiler{options};
-  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, options);
   return compiled.ok() ? compiled->total.time_us : -1.0;
 }
 

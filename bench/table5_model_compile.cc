@@ -63,13 +63,8 @@ double ModelTensorRtCompileSeconds(const ModelGraph& model, const GpuArch& arch)
 }
 
 double SpaceFusionCompileSeconds(const ModelGraph& model, const GpuArch& arch) {
-  Compiler compiler{CompileOptions(arch)};
-  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
-  if (!compiled.ok()) {
-    return -1.0;
-  }
-  return compiled->compile_time.tuning_s +
-         (compiled->compile_time.slicing_ms + compiled->compile_time.enum_cfg_ms) * 1e-3;
+  StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, CompileOptions(arch));
+  return compiled.ok() ? compiled->compile_time.total_s() : -1.0;
 }
 
 void Run() {

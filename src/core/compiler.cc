@@ -1,322 +1,26 @@
 #include "src/core/compiler.h"
 
-#include <algorithm>
-#include <optional>
-
-#include "src/obs/trace.h"
-#include "src/schedule/lowering.h"
-#include "src/support/logging.h"
-#include "src/support/string_util.h"
-#include "src/support/thread_pool.h"
+#include "src/core/engine.h"
 
 namespace spacefusion {
 
-CompileOptions::CompileOptions() : arch(AmpereA100()) {}
-
 Compiler::Compiler(CompileOptions options)
-    : options_(std::move(options)),
-      rc_(ResourceConfig::FromArch(options_.arch)),
-      cost_(options_.arch) {}
+    : engine_(std::make_unique<CompilerEngine>(std::move(options))) {}
+
+Compiler::Compiler(Compiler&&) noexcept = default;
+Compiler& Compiler::operator=(Compiler&&) noexcept = default;
+Compiler::~Compiler() = default;
+
+const CompileOptions& Compiler::options() const { return engine_->options(); }
 
 StatusOr<CompiledSubprogram> Compiler::Compile(const Graph& graph) {
-  std::uint64_t key = graph.StructuralHash();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    SF_COUNTER_ADD("compiler.cache_hits", 1);
-    return it->second;
-  }
-  SF_COUNTER_ADD("compiler.cache_misses", 1);
-  SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, CompileUncached(graph));
-  cache_.emplace(key, compiled);
-  return compiled;
-}
-
-StatusOr<CompiledSubprogram> Compiler::CompileUncached(const Graph& graph) {
-  // All wall-clock accounting below is span-derived: the accumulator totals
-  // the spans this compile records (whether or not a trace session is
-  // capturing them).
-  PhaseAccumulator phases;
-  ScopedSpan compile_span("compiler.compile");
-  compile_span.Arg("graph", graph.name()).Arg("ops", static_cast<std::int64_t>(graph.ops().size()));
-  SF_COUNTER_ADD("compiler.subprograms_compiled", 1);
-
-  // Phase boundary 1: the input graph. Rejecting a malformed graph here —
-  // with structured diagnostics — beats an SF_CHECK abort deep in slicing.
-  if (options_.verify != VerifyMode::kOff) {
-    ScopedSpan verify_span("verify.graph", "verify");
-    DiagnosticReport report;
-    report.SetContext(graph.name());
-    VerifyGraph(graph, &report);
-    verify_span.Arg("diagnostics", static_cast<std::int64_t>(report.diagnostics().size()));
-    if (!report.ok()) {
-      SF_COUNTER_ADD("verify.rejected_inputs", 1);
-      return report.ToStatus(StatusCode::kInvalidArgument);
-    }
-  }
-
-  SlicingOptions slicing;
-  slicing.enable_temporal = options_.enable_temporal_slicing;
-  slicing.search = options_.search;
-
-  PipelineResult pipeline;
-  {
-    ScopedSpan pipeline_span("compiler.pipeline");
-
-    // Program pre-processing: independent chains (e.g. the three projections
-    // of QKV) become their own fused SMGs; fusing them would build a fused
-    // space over unrelated dimensions.
-    std::vector<Graph> components = SplitConnectedComponents(graph);
-
-    // Concatenates per-graph pipelines into one candidate program. The
-    // pieces are independent subgraphs, so their pipelines run concurrently
-    // into indexed slots; the merge (and error selection) walks the slots
-    // in piece order, keeping the result identical to the serial loop.
-    auto compile_pieces = [&](const std::vector<Graph>& pieces) -> StatusOr<ProgramCandidate> {
-      std::vector<std::optional<StatusOr<PipelineResult>>> parts(pieces.size());
-      PhaseAccumulator* phase_stack = obs_internal::CurrentPhaseAccumulator();
-      GlobalThreadPool().ParallelFor(
-          static_cast<std::int64_t>(pieces.size()),
-          [&, phase_stack](std::int64_t begin, std::int64_t end) {
-            ScopedPhaseHandoff handoff(phase_stack);
-            for (std::int64_t i = begin; i < end; ++i) {
-              parts[static_cast<size_t>(i)] =
-                  RunSlicingPipeline(pieces[static_cast<size_t>(i)], rc_, slicing);
-            }
-          });
-      ProgramCandidate candidate;
-      for (std::optional<StatusOr<PipelineResult>>& part : parts) {
-        if (!part->ok()) {
-          return part->status();
-        }
-        for (SlicingResult& kernel : part->value().candidates.front().kernels) {
-          candidate.kernels.push_back(std::move(kernel));
-        }
-        candidate.partition_rounds += part->value().candidates.front().partition_rounds;
-      }
-      return candidate;
-    };
-
-    if (components.size() == 1) {
-      SF_ASSIGN_OR_RETURN(pipeline, RunSlicingPipeline(graph, rc_, slicing));
-    } else {
-      SF_ASSIGN_OR_RETURN(ProgramCandidate fused, compile_pieces(components));
-      pipeline.candidates.push_back(std::move(fused));
-    }
-
-    // Sec. 5.3 candidate exploration: the maximally fused program competes
-    // against a conservatively split one (matmuls isolated, MI runs fused) —
-    // fusion across giant-weight GEMM chains is not always profitable, and
-    // the tuner decides by measurement.
-    {
-      std::vector<Graph> split_pieces;
-      for (const Graph& component : components) {
-        for (Graph& piece : SplitAtComputeBoundaries(component)) {
-          split_pieces.push_back(std::move(piece));
-        }
-      }
-      if (split_pieces.size() > components.size()) {
-        StatusOr<ProgramCandidate> split = compile_pieces(split_pieces);
-        if (split.ok()) {
-          pipeline.candidates.push_back(std::move(split).value());
-        }
-      }
-    }
-    pipeline_span.Arg("candidates", static_cast<std::int64_t>(pipeline.candidates.size()));
-  }
-  SF_HISTOGRAM_OBSERVE("compiler.candidate_programs",
-                       static_cast<double>(pipeline.candidates.size()));
-
-  // Every *discovered* fusion counts toward the pattern statistics, even if
-  // tuning ultimately prefers another candidate program (Table 6 counts what
-  // the scheduler can fuse, not what it deploys).
-  for (const ProgramCandidate& candidate : pipeline.candidates) {
-    for (const SlicingResult& kernel : candidate.kernels) {
-      RecordFusionPattern(kernel.schedule.graph);
-    }
-  }
-
-  // Full mode: every candidate program the pipeline enumerated is verified
-  // before tuning — each kernel's SMG build, plus slicing legality and
-  // memory plan under every enumerated config. Violations here are compiler
-  // bugs (the pipeline produced them), hence kInternal.
-  if (options_.verify == VerifyMode::kFull) {
-    ScopedSpan verify_span("verify.candidates", "verify");
-    DiagnosticReport report;
-    std::int64_t configs_checked = 0;
-    for (const ProgramCandidate& candidate : pipeline.candidates) {
-      for (const SlicingResult& kernel : candidate.kernels) {
-        report.SetContext(kernel.schedule.graph.name());
-        VerifyGraph(kernel.schedule.graph, &report);
-        VerifySmgBuild(kernel.schedule.graph, kernel.schedule.built, &report);
-        for (const ScheduleConfig& config : kernel.configs) {
-          SmgSchedule probe = kernel.schedule;
-          probe.ApplyConfig(config);
-          PlanMemory(&probe, rc_);
-          VerifySlicing(probe, &report);
-          VerifyMemoryPlan(probe, rc_, &report);
-          ++configs_checked;
-        }
-      }
-    }
-    verify_span.Arg("configs", configs_checked)
-        .Arg("diagnostics", static_cast<std::int64_t>(report.diagnostics().size()));
-    SF_COUNTER_ADD("verify.candidate_configs_checked", configs_checked);
-    if (!report.ok()) {
-      return report.ToStatus(StatusCode::kInternal);
-    }
-  }
-
-  // Tune every candidate program, keep the fastest (Sec. 5.3).
-  CompiledSubprogram best;
-  bool have_best = false;
-  double total_tuning_s = 0.0;
-  int tried = 0;
-  int screened = 0;
-
-  for (ProgramCandidate& candidate : pipeline.candidates) {
-    CompiledSubprogram compiled;
-    compiled.candidate_programs = static_cast<int>(pipeline.candidates.size());
-    double candidate_time = 0.0;
-    AddressMap addresses;
-    if (options_.enable_auto_scheduling) {
-      // The candidate's kernels are independent SMG blocks: tune them
-      // concurrently (each TuneKernel further parallelizes its config sweep
-      // when it lands on the caller), then fold the stats in kernel order
-      // so the totals are deterministic.
-      std::vector<TuningStats> kernel_stats(candidate.kernels.size());
-      PhaseAccumulator* phase_stack = obs_internal::CurrentPhaseAccumulator();
-      GlobalThreadPool().ParallelFor(
-          static_cast<std::int64_t>(candidate.kernels.size()),
-          [&, phase_stack](std::int64_t begin, std::int64_t end) {
-            ScopedPhaseHandoff handoff(phase_stack);
-            for (std::int64_t i = begin; i < end; ++i) {
-              kernel_stats[static_cast<size_t>(i)] =
-                  TuneKernel(&candidate.kernels[static_cast<size_t>(i)], cost_, rc_,
-                             options_.tuner, &cost_cache_);
-            }
-          });
-      for (const TuningStats& stats : kernel_stats) {
-        total_tuning_s += stats.simulated_tuning_seconds;
-        tried += stats.configs_tried;
-        screened += stats.configs_screened;
-        compiled.tuning.configs_early_quit += stats.configs_early_quit;
-      }
-    } else {
-      for (SlicingResult& kernel : candidate.kernels) {
-        ApplyExpertConfig(&kernel, rc_);
-      }
-    }
-    // Lowering stays serial: the AddressMap threads stable simulated
-    // addresses through the kernels in execution order.
-    for (SlicingResult& kernel : candidate.kernels) {
-      ScopedSpan lower_span("compiler.lower");
-      lower_span.Arg("kernel", kernel.schedule.graph.name());
-      KernelSpec spec = LowerSchedule(kernel.schedule, &addresses);
-      candidate_time += cost_.EstimateKernel(spec).time_us;
-      compiled.program.kernels.push_back(kernel.schedule);
-      compiled.kernels.push_back(std::move(spec));
-    }
-    {
-      ScopedSpan estimate_span("compiler.estimate", "simulate");
-      compiled.estimate = cost_.Estimate(compiled.kernels);
-      estimate_span.Arg("time_us", compiled.estimate.time_us);
-    }
-    if (!have_best || compiled.estimate.time_us < best.estimate.time_us) {
-      best = std::move(compiled);
-      have_best = true;
-    }
-  }
-  SF_CHECK(have_best);
-
-  // Table 4's wall-clock columns, rebuilt from the span timings: the
-  // enumeration column is exactly the "search.enum_cfg" spans, and the
-  // slicing column is the rest of the slicing/partitioning pipeline.
-  double enum_ms = phases.TotalMs("search.enum_cfg");
-  double pipeline_ms = phases.TotalMs("compiler.pipeline");
-  best.compile_time.slicing_ms = std::max(0.0, pipeline_ms - enum_ms);
-  best.compile_time.enum_cfg_ms = enum_ms;
-  best.compile_time.tuning_s = total_tuning_s;
-  best.tuning.configs_screened = screened;
-  best.tuning.configs_tried = tried;
-  best.tuning.best_time_us = best.estimate.time_us;
-  best.tuning.simulated_tuning_seconds = total_tuning_s;
-  compile_span.Arg("configs_screened", screened)
-      .Arg("configs_tried", tried)
-      .Arg("best_us", best.estimate.time_us);
-
-  // Phase boundary 2: the chosen program — per-kernel SMG build, slicing
-  // and memory-plan legality, plus inter-kernel dependency order against
-  // the source graph. A violation of the tuned result is a compiler bug.
-  if (options_.verify != VerifyMode::kOff) {
-    DiagnosticReport report = VerifyCompiledProgram(best.program, graph, rc_);
-    if (!report.ok()) {
-      return report.ToStatus(StatusCode::kInternal);
-    }
-    for (const Diagnostic& d : report.diagnostics()) {
-      SF_LOG(Warning) << d.ToString();
-    }
-  }
-  return best;
+  return engine_->Compile(graph);
 }
 
 StatusOr<CompiledModel> Compiler::CompileModel(const ModelGraph& model) {
-  ScopedSpan model_span("compiler.compile_model");
-  model_span.Arg("model", model.config.name)
-      .Arg("subprograms", static_cast<std::int64_t>(model.subprograms.size()));
-  CompiledModel out;
-  std::map<std::uint64_t, size_t> compiled_index;
-  for (const Subprogram& sub : model.subprograms) {
-    std::uint64_t key = sub.graph.StructuralHash();
-    auto it = compiled_index.find(key);
-    if (it == compiled_index.end()) {
-      SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, Compile(sub.graph));
-      out.compile_time.slicing_ms += compiled.compile_time.slicing_ms;
-      out.compile_time.enum_cfg_ms += compiled.compile_time.enum_cfg_ms;
-      out.compile_time.tuning_s += compiled.compile_time.tuning_s;
-      compiled_index.emplace(key, out.unique_subprograms.size());
-      out.unique_subprograms.push_back(std::move(compiled));
-      it = compiled_index.find(key);
-    } else {
-      ++out.cache_hits;
-      SF_COUNTER_ADD("compiler.cache_hits", 1);
-    }
-    out.total += out.unique_subprograms[it->second].estimate.Scaled(sub.repeat);
-  }
-  model_span.Arg("cache_hits", out.cache_hits).Arg("total_us", out.total.time_us);
-  out.metrics = MetricsRegistry::Global().Snapshot();
-  return out;
+  return engine_->CompileModel(model);
 }
 
-void Compiler::RecordFusionPattern(const Graph& kernel_graph) {
-  int a2o_ops = 0;
-  bool has_ci = false;
-  bool has_mi = false;
-  for (const Op& op : kernel_graph.ops()) {
-    if (op.kind == OpKind::kMatMul || op.kind == OpKind::kReduce) {
-      ++a2o_ops;
-    }
-    if (op.compute_intensive()) {
-      has_ci = true;
-    } else {
-      has_mi = true;
-    }
-  }
-  if (a2o_ops < 2) {
-    return;  // Table 6 counts fused subgraphs with >= 2 All-to-Ones
-  }
-  std::uint64_t topo = kernel_graph.TopologyHash();
-  if (seen_patterns_.count(topo) > 0) {
-    return;
-  }
-  seen_patterns_.emplace(topo, true);
-  ++fusion_stats_.total;
-  if (has_ci && has_mi) {
-    ++fusion_stats_.ci_and_mi;
-  } else if (has_ci) {
-    ++fusion_stats_.ci_only;
-  } else {
-    ++fusion_stats_.mi_only;
-  }
-}
+FusionPatternStats Compiler::fusion_stats() const { return engine_->fusion_stats(); }
 
 }  // namespace spacefusion

@@ -5,16 +5,21 @@
 // between resource-aware slicing and SMG partitioning until every SMG has a
 // schedule; the auto-tuner measures the enumerated configurations on the
 // GPU simulator and the best schedules are lowered to kernels.
+//
+// The compile pipeline itself lives in src/pass (a PassManager over a
+// CompilationState) and is served by a CompilerEngine (src/core/engine.h):
+// this class is a thin facade owning one private engine, so each Compiler
+// keeps its own program cache and fusion statistics — and is safe to call
+// from several threads at once, the engine guards its shared state.
 #ifndef SPACEFUSION_SRC_CORE_COMPILER_H_
 #define SPACEFUSION_SRC_CORE_COMPILER_H_
 
-#include <map>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "src/graph/models.h"
 #include "src/obs/metrics.h"
+#include "src/pass/pass.h"
 #include "src/schedule/pipeline.h"
 #include "src/sim/cost_cache.h"
 #include "src/sim/cost_model.h"
@@ -23,45 +28,11 @@
 
 namespace spacefusion {
 
-struct CompileOptions {
-  GpuArch arch;
-  // Ablation toggles (paper Sec. 6.4):
-  //  * enable_temporal_slicing=false               -> Base(SS) / Base+AS
-  //  * enable_auto_scheduling=false (expert cfgs)  -> Base(SS) / Base+TS
-  bool enable_temporal_slicing = true;
-  bool enable_auto_scheduling = true;
-  // Static IR verification at phase boundaries (src/verify): input graphs
-  // are checked at compile entry and the chosen program at compile exit;
-  // kFull additionally checks every candidate program and enumerated
-  // config. Defaults to SPACEFUSION_VERIFY from the environment, else phase.
-  VerifyMode verify = VerifyModeFromEnv();
-  SearchOptions search;
-  TunerOptions tuner;
+class CompilerEngine;
 
-  CompileOptions();  // defaults to A100
-  explicit CompileOptions(GpuArch a) : arch(std::move(a)) {}
-};
-
-// Compile-time breakdown of one subprogram (Table 4's columns). The
-// wall-clock columns are derived from the trace spans recorded during the
-// compile (a PhaseAccumulator sums the "compiler.pipeline" and
-// "search.enum_cfg" spans), not from hand-threaded stopwatches, so they
-// stay consistent with what SPACEFUSION_TRACE captures.
-struct CompileTimeBreakdown {
-  double slicing_ms = 0.0;    // TS.getPriorDim + TS.slice + SS.getDims + SS.slice
-  double enum_cfg_ms = 0.0;   // search-space enumeration
-  double tuning_s = 0.0;      // emulated measurement time (dominates)
-  double total_s() const { return tuning_s + (slicing_ms + enum_cfg_ms) * 1e-3; }
-};
-
-struct CompiledSubprogram {
-  ScheduledProgram program;          // tuned kernels, in execution order
-  std::vector<KernelSpec> kernels;   // lowered specs
-  ExecutionReport estimate;          // simulator cost of one execution
-  CompileTimeBreakdown compile_time;
-  TuningStats tuning;
-  int candidate_programs = 1;        // Sec. 5.3 alternatives explored
-};
+// CompileOptions, CompileTimeBreakdown, CompiledSubprogram, and
+// FusionPatternStats moved to src/pass/pass.h (the pass layer owns the
+// compile-request vocabulary); this header re-exports them via its include.
 
 struct CompiledModel {
   // One entry per *unique* subprogram (repetitions compile once).
@@ -75,19 +46,14 @@ struct CompiledModel {
   MetricsSnapshot metrics;
 };
 
-// Distinct fusion patterns discovered across compilations (Table 6).
-struct FusionPatternStats {
-  int total = 0;
-  int ci_only = 0;
-  int mi_only = 0;
-  int ci_and_mi = 0;
-};
-
 class Compiler {
  public:
   explicit Compiler(CompileOptions options);
+  Compiler(Compiler&&) noexcept;
+  Compiler& operator=(Compiler&&) noexcept;
+  ~Compiler();
 
-  const CompileOptions& options() const { return options_; }
+  const CompileOptions& options() const;
 
   // Compiles one subprogram (with compile-cache lookup).
   StatusOr<CompiledSubprogram> Compile(const Graph& graph);
@@ -97,21 +63,13 @@ class Compiler {
 
   // Fused subgraphs with >=2 All-to-One mappings seen so far, deduplicated
   // by operator topology (Table 6's counting rule).
-  FusionPatternStats fusion_stats() const { return fusion_stats_; }
+  FusionPatternStats fusion_stats() const;
+
+  // The engine serving this compiler (owned).
+  CompilerEngine& engine() { return *engine_; }
 
  private:
-  StatusOr<CompiledSubprogram> CompileUncached(const Graph& graph);
-  void RecordFusionPattern(const Graph& kernel_graph);
-
-  CompileOptions options_;
-  ResourceConfig rc_;
-  CostModel cost_;
-  // Memoizes per-config cost evaluations across kernels, candidates, and
-  // subprograms of this compiler (hit/miss counters: cost_cache.*).
-  CostCache cost_cache_;
-  std::map<std::uint64_t, CompiledSubprogram> cache_;
-  FusionPatternStats fusion_stats_;
-  std::map<std::uint64_t, bool> seen_patterns_;
+  std::unique_ptr<CompilerEngine> engine_;
 };
 
 }  // namespace spacefusion

@@ -1,0 +1,116 @@
+// CompilerEngine: the concurrently-callable compile service behind the
+// Compiler facade.
+//
+// The engine owns what a single compile request must not: the cross-model
+// structural program cache, the per-options-digest CostCaches, and the
+// Table 6 fusion-pattern recorder. Each Compile/CompileModel request builds
+// a CompilationState, runs the BuildCompilePassList pass list through a
+// PassManager, and derives the CompileTimeBreakdown from the pass timings.
+//
+// Program cache key anatomy: (canonical graph fingerprint, options digest).
+// The fingerprint is Graph::StructuralHash (name-insensitive) by default —
+// overridable per engine for tests — and the options digest covers the
+// architecture plus every compile-affecting option, so A100 and V100
+// programs never alias. A fingerprint hit is confirmed by comparing
+// Graph::CanonicalForm against the cached entry before it is served; a
+// mismatch is a counted collision and compiles fresh into the same bucket.
+#ifndef SPACEFUSION_SRC_CORE_ENGINE_H_
+#define SPACEFUSION_SRC_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/pass/pass.h"
+#include "src/sim/cost_cache.h"
+
+namespace spacefusion {
+
+// Digest of every compile-affecting field of the options, including the
+// architecture. Two options with equal digests produce identical programs
+// for identical graphs.
+std::uint64_t CompileOptionsDigest(const CompileOptions& options);
+
+struct EngineOptions {
+  // Default options for Compile/CompileModel calls without per-request ones.
+  CompileOptions compile;
+  // Cross-model structural program cache (engine.cache.* metrics).
+  bool enable_program_cache = true;
+  // Graph fingerprint for the program-cache key. Defaults to
+  // Graph::StructuralHash; tests override it to force collisions onto the
+  // canonical-form comparison path.
+  std::function<std::uint64_t(const Graph&)> fingerprint_fn;
+
+  EngineOptions() = default;
+  explicit EngineOptions(CompileOptions c) : compile(std::move(c)) {}
+};
+
+class CompilerEngine {
+ public:
+  struct CacheStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t collisions = 0;  // fingerprint hit, canonical-form mismatch
+  };
+
+  explicit CompilerEngine(EngineOptions options);
+  explicit CompilerEngine(CompileOptions options);
+
+  const CompileOptions& options() const { return options_.compile; }
+
+  // Compiles one subprogram. Safe to call from several threads at once;
+  // structurally repeated graphs (same options digest) are served from the
+  // program cache.
+  StatusOr<CompiledSubprogram> Compile(const Graph& graph);
+  StatusOr<CompiledSubprogram> Compile(const Graph& graph, const CompileOptions& options);
+
+  // Compiles a whole model; repeated subprograms are compiled once.
+  // CompiledModel::cache_hits counts the intra-model repeats (the paper's
+  // compile-once statistic); cross-model reuse shows up in engine.cache.*.
+  StatusOr<CompiledModel> CompileModel(const ModelGraph& model);
+  StatusOr<CompiledModel> CompileModel(const ModelGraph& model, const CompileOptions& options);
+
+  // Fused subgraphs with >=2 All-to-One mappings seen so far, deduplicated
+  // by operator topology (Table 6's counting rule), across every request
+  // this engine served.
+  FusionPatternStats fusion_stats() const { return fusion_.stats(); }
+
+  CacheStats cache_stats() const;
+  // Number of cached programs (across all buckets).
+  std::int64_t program_cache_size() const;
+
+ private:
+  struct CacheEntry {
+    std::uint64_t digest = 0;
+    std::string canonical;
+    CompiledSubprogram compiled;
+  };
+
+  std::uint64_t Fingerprint(const Graph& graph) const;
+  // CostCache keys are (kernel signature, config) — arch-blind — so each
+  // options digest gets its own cache.
+  CostCache* CostCacheFor(std::uint64_t digest);
+  StatusOr<CompiledSubprogram> CompileUncached(const Graph& graph, const CompileOptions& options,
+                                               std::uint64_t digest);
+
+  EngineOptions options_;
+  std::uint64_t default_digest_ = 0;
+
+  mutable std::mutex cache_mu_;
+  std::map<std::uint64_t, std::vector<CacheEntry>> cache_;
+  CacheStats stats_;
+
+  std::mutex cost_caches_mu_;
+  std::map<std::uint64_t, std::unique_ptr<CostCache>> cost_caches_;
+
+  FusionPatternRecorder fusion_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_CORE_ENGINE_H_

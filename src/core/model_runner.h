@@ -7,9 +7,23 @@
 
 #include "src/baselines/baseline.h"
 #include "src/core/compiler.h"
+#include "src/core/engine.h"
 #include "src/sim/memory_sim.h"
 
 namespace spacefusion {
+
+// Compiles a whole model through the engine API. The one entry point the
+// bench targets (table5, fig14, fig16, sf-bench-json) and sf-compile share:
+// with `engine == nullptr` a fresh CompilerEngine serves the request (cold
+// compile); passing an engine reuses its cross-model program cache.
+StatusOr<CompiledModel> CompileModelWithSpaceFusion(const ModelGraph& model,
+                                                    const CompileOptions& options,
+                                                    CompilerEngine* engine = nullptr);
+
+// Compiles one subprogram through the engine API (same engine semantics).
+StatusOr<CompiledSubprogram> CompileGraphWithSpaceFusion(const Graph& graph,
+                                                         const CompileOptions& options,
+                                                         CompilerEngine* engine = nullptr);
 
 // Executes a model under a baseline planner on the cost model. Returns
 // nullopt when the baseline does not support any subprogram on this

@@ -21,7 +21,9 @@
 
 #include "src/baselines/baseline.h"        // IWYU pragma: export
 #include "src/core/compiler.h"             // IWYU pragma: export
+#include "src/core/engine.h"               // IWYU pragma: export
 #include "src/core/model_runner.h"         // IWYU pragma: export
+#include "src/pass/pass.h"                 // IWYU pragma: export
 #include "src/exec/schedule_executor.h"    // IWYU pragma: export
 #include "src/graph/builder.h"             // IWYU pragma: export
 #include "src/graph/models.h"              // IWYU pragma: export

@@ -319,6 +319,27 @@ std::uint64_t Graph::TopologyHash() const {
   return h;
 }
 
+std::string Graph::CanonicalForm() const {
+  std::ostringstream out;
+  for (const TensorInfo& t : tensors_) {
+    out << "t" << static_cast<int>(t.kind) << "." << static_cast<int>(t.dtype) << ":";
+    for (std::int64_t d : t.shape.dims()) {
+      out << d << ",";
+    }
+    out << ";";
+  }
+  for (const Op& op : ops_) {
+    out << "o" << static_cast<int>(op.kind) << "." << static_cast<int>(op.attrs.unary) << "."
+        << static_cast<int>(op.attrs.binary) << "." << static_cast<int>(op.attrs.reduce) << "."
+        << (op.attrs.transpose_a ? 1 : 0) << (op.attrs.transpose_b ? 1 : 0) << ":";
+    for (TensorId in : op.inputs) {
+      out << in << ",";
+    }
+    out << ">" << op.output << ";";
+  }
+  return out.str();
+}
+
 std::string Graph::ToString() const {
   std::ostringstream out;
   out << "graph " << name_ << " {\n";

@@ -80,6 +80,12 @@ class Graph {
   // patterns (paper Table 6).
   std::uint64_t TopologyHash() const;
 
+  // Name-insensitive canonical rendering covering exactly the fields
+  // StructuralHash mixes: two graphs have equal CanonicalForm iff they are
+  // structurally identical. The engine's program cache compares this on
+  // every fingerprint hit to rule out hash collisions.
+  std::string CanonicalForm() const;
+
   std::string ToString() const;
 
  private:

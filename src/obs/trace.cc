@@ -285,6 +285,15 @@ std::int64_t PhaseAccumulator::SpanCount(const std::string& name) const {
   return it == totals_.end() ? 0 : it->second.count;
 }
 
+std::map<std::string, double> PhaseAccumulator::AllTotalsMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, total] : totals_) {
+    out.emplace(name, total.total_ms);
+  }
+  return out;
+}
+
 namespace obs_internal {
 
 PhaseAccumulator* CurrentPhaseAccumulator() { return tl_accumulator; }

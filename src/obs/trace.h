@@ -205,6 +205,9 @@ class PhaseAccumulator {
   double TotalMs(const std::string& name) const;
   // Number of completed spans named `name`.
   std::int64_t SpanCount(const std::string& name) const;
+  // Snapshot of every span-name total, in ms. Lets a caller that outlives
+  // the accumulator (e.g. the PassManager) keep the whole breakdown.
+  std::map<std::string, double> AllTotalsMs() const;
 
  private:
   friend void obs_internal::RecordSpan(const char*, const char*,

@@ -3,6 +3,10 @@
 // tuned, compiled programs.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "src/core/spacefusion.h"
 #include "src/schedule/lowering.h"
 #include "src/tuning/tuner.h"
@@ -228,6 +232,44 @@ TEST(TunerTest, EarlyQuitSavesMeasurementTime) {
   EXPECT_LT(quick.simulated_tuning_seconds, slow.simulated_tuning_seconds);
   EXPECT_GT(quick.configs_early_quit, 0);
   EXPECT_EQ(quick.best_time_us, slow.best_time_us);  // same winner
+}
+
+// The facade delegates to a CompilerEngine, so one Compiler instance must
+// serve concurrent Compile calls (run under TSan by the concurrency CI job).
+TEST(CompilerTest, ConcurrentCompileOnOneInstance) {
+  Compiler compiler = MakeCompiler();
+  constexpr int kThreads = 6;
+  std::vector<std::string> fingerprints(kThreads);
+  std::vector<Status> statuses(kThreads, Status::Ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Graph g = t % 2 == 0 ? BuildMha(4, 128, 128, 32) : BuildMlp(2, 64, 64, 64);
+      auto compiled = compiler.Compile(g);
+      if (!compiled.ok()) {
+        statuses[static_cast<size_t>(t)] = compiled.status();
+        return;
+      }
+      std::string fp;
+      for (const SmgSchedule& kernel : compiled->program.kernels) {
+        fp += kernel.ToString();
+      }
+      fingerprints[static_cast<size_t>(t)] = fp;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(t)].ok())
+        << statuses[static_cast<size_t>(t)].ToString();
+  }
+  // All threads that compiled the same graph selected the same program.
+  for (int t = 2; t < kThreads; ++t) {
+    EXPECT_EQ(fingerprints[static_cast<size_t>(t)], fingerprints[static_cast<size_t>(t % 2)]);
+  }
+  EXPECT_EQ(compiler.engine().cache_stats().hits + compiler.engine().cache_stats().misses,
+            kThreads);
 }
 
 TEST(TunerTest, ExpertConfigPrefersTemporalAnd64Tiles) {

@@ -214,5 +214,60 @@ TEST_F(DeterminismTest, ScreeningPreservesSelectionAcrossJobCounts) {
   }
 }
 
+// Acceptance gate for the pass-manager/engine refactor: on every built-in
+// model, compiling through a CompilerEngine yields bit-identical schedules,
+// estimates, and simulated tuning seconds at SPACEFUSION_JOBS=1 and =8 —
+// and an engine serving the model from its program cache reports the same
+// fingerprint as the cold compile.
+TEST_F(DeterminismTest, EngineCompileIdenticalAcrossJobCountsAllModels) {
+  for (ModelKind kind : AllModelKinds()) {
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/1, /*seq=*/128));
+
+    auto model_fingerprint = [](const CompiledModel& compiled) {
+      std::string out;
+      for (const CompiledSubprogram& sub : compiled.unique_subprograms) {
+        for (const SmgSchedule& kernel : sub.program.kernels) {
+          out += kernel.ToString();
+        }
+        char line[160];
+        std::snprintf(line, sizeof(line), "est=%.17g tune=%.17g tried=%d screened=%d\n",
+                      sub.estimate.time_us, sub.tuning.simulated_tuning_seconds,
+                      sub.tuning.configs_tried, sub.tuning.configs_screened);
+        out += line;
+      }
+      char total[128];
+      std::snprintf(total, sizeof(total), "total=%.17g tuning_s=%.17g", compiled.total.time_us,
+                    compiled.compile_time.tuning_s);
+      out += total;
+      return out;
+    };
+
+    auto cold = [&](int jobs) {
+      ResetGlobalThreadPool(jobs);
+      CompilerEngine engine{CompileOptions(AmpereA100())};
+      StatusOr<CompiledModel> compiled = engine.CompileModel(model);
+      EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+      return model_fingerprint(*compiled);
+    };
+
+    std::string serial = cold(1);
+    std::string parallel = cold(8);
+    EXPECT_FALSE(serial.empty()) << ModelKindName(kind);
+    EXPECT_EQ(serial, parallel) << ModelKindName(kind);
+
+    // Second compile on one engine is served from the program cache and
+    // must be indistinguishable from the cold result.
+    ResetGlobalThreadPool(8);
+    CompilerEngine engine{CompileOptions(AmpereA100())};
+    StatusOr<CompiledModel> first = engine.CompileModel(model);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    StatusOr<CompiledModel> cached = engine.CompileModel(model);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    EXPECT_GE(engine.cache_stats().hits, 1) << ModelKindName(kind);
+    EXPECT_EQ(model_fingerprint(*first), serial) << ModelKindName(kind);
+    EXPECT_EQ(model_fingerprint(*cached), serial) << ModelKindName(kind);
+  }
+}
+
 }  // namespace
 }  // namespace spacefusion

@@ -1,0 +1,312 @@
+// Tests for CompilerEngine (src/core/engine): the cross-model structural
+// program cache (hit/miss/collision semantics, options digest), equality of
+// cached and cold-compiled results, and thread-safety of concurrent compile
+// requests against one engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/graph/models.h"
+#include "src/graph/subgraphs.h"
+#include "src/obs/metrics.h"
+
+namespace spacefusion {
+namespace {
+
+std::string ProgramFingerprint(const CompiledSubprogram& sub) {
+  std::string fp;
+  for (const SmgSchedule& kernel : sub.program.kernels) {
+    fp += kernel.ToString();
+  }
+  return fp;
+}
+
+void ExpectSameReport(const ExecutionReport& a, const ExecutionReport& b) {
+  EXPECT_EQ(a.time_us, b.time_us);
+  EXPECT_EQ(a.kernel_count, b.kernel_count);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+}
+
+// Two single-subprogram "models" whose graphs have different tensor/op/graph
+// names but identical structure: the second compile must be a structural
+// cache hit with an estimate identical to the cold compile.
+TEST(EngineCacheTest, CrossModelStructuralHit) {
+  MetricsRegistry::Global().Reset();
+  CompilerEngine engine{CompileOptions()};
+
+  Graph first = BuildMha(4, 64, 64, 32);
+  StatusOr<CompiledSubprogram> cold = engine.Compile(first);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+
+  // Same constructor arguments produce the same structure; the graph and its
+  // tensors keep their own (identical) generated names, so rename everything
+  // to prove the cache is structural, not name-based.
+  Graph second = BuildMha(4, 64, 64, 32);
+  second.set_name("mha_from_another_model");
+
+  StatusOr<CompiledSubprogram> warm = engine.Compile(second);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(engine.cache_stats().hits, 1);
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+  EXPECT_EQ(engine.cache_stats().collisions, 0);
+  EXPECT_EQ(engine.program_cache_size(), 1);
+
+  // Acceptance pin: the cached result is indistinguishable from the cold one.
+  ExpectSameReport(warm->estimate, cold->estimate);
+  EXPECT_EQ(ProgramFingerprint(*warm), ProgramFingerprint(*cold));
+  EXPECT_EQ(warm->tuning.simulated_tuning_seconds, cold->tuning.simulated_tuning_seconds);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snapshot.counter("engine.cache.hits"), 1);
+  EXPECT_GE(snapshot.counter("engine.cache.misses"), 1);
+}
+
+TEST(EngineCacheTest, CrossModelHitThroughCompileModel) {
+  CompilerEngine engine{CompileOptions()};
+
+  // Model A lists the QKV projection twice (intra-model repeat); model B
+  // lists it five times plus an MLP only it has.
+  ModelGraph model_a;
+  model_a.subprograms.push_back({BuildQkvProj(128, 256, 256), /*repeat=*/1});
+  model_a.subprograms.push_back({BuildQkvProj(128, 256, 256), /*repeat=*/1});
+  ModelGraph model_b;
+  for (int i = 0; i < 5; ++i) {
+    model_b.subprograms.push_back({BuildQkvProj(128, 256, 256), /*repeat=*/1});
+  }
+  model_b.subprograms.push_back({BuildMlp(1, 64, 64, 64), /*repeat=*/1});
+
+  StatusOr<CompiledModel> a = engine.CompileModel(model_a);
+  ASSERT_TRUE(a.ok());
+  CompilerEngine::CacheStats after_a = engine.cache_stats();
+  EXPECT_EQ(after_a.hits, 0);
+  EXPECT_EQ(after_a.misses, 1);
+
+  StatusOr<CompiledModel> b = engine.CompileModel(model_b);
+  ASSERT_TRUE(b.ok());
+  CompilerEngine::CacheStats after_b = engine.cache_stats();
+  EXPECT_EQ(after_b.hits, 1);  // model B's QKV projection reuses model A's
+  EXPECT_EQ(after_b.misses, 2);
+
+  // The shared subprogram compiles to the same estimate in both models.
+  ExpectSameReport(a->unique_subprograms[0].estimate, b->unique_subprograms[0].estimate);
+  // Intra-model repeats stay a separate statistic from cross-model reuse.
+  EXPECT_EQ(a->cache_hits, 1);
+  EXPECT_EQ(b->cache_hits, 4);
+}
+
+TEST(EngineCacheTest, MissOnDifferentArchitecture) {
+  CompilerEngine engine{CompileOptions()};
+  Graph g = BuildMlp(2, 64, 64, 64);
+  ASSERT_TRUE(engine.Compile(g).ok());
+
+  CompileOptions volta{VoltaV100()};
+  StatusOr<CompiledSubprogram> on_volta = engine.Compile(g, volta);
+  ASSERT_TRUE(on_volta.ok());
+
+  CompilerEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);  // same structure, different options digest
+  EXPECT_EQ(engine.program_cache_size(), 2);
+}
+
+TEST(EngineCacheTest, MissOnDifferentOptionsDigest) {
+  CompilerEngine engine{CompileOptions()};
+  Graph g = BuildMlp(2, 64, 64, 64);
+  ASSERT_TRUE(engine.Compile(g).ok());
+
+  CompileOptions exhaustive;
+  exhaustive.tuner.screen_top_k = 0;
+  ASSERT_TRUE(engine.Compile(g, exhaustive).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+
+  // Repeating either options flavor now hits its own entry.
+  ASSERT_TRUE(engine.Compile(g).ok());
+  ASSERT_TRUE(engine.Compile(g, exhaustive).ok());
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+}
+
+TEST(EngineCacheTest, OptionsDigestIsStableAndSensitive) {
+  CompileOptions a;
+  CompileOptions b;
+  EXPECT_EQ(CompileOptionsDigest(a), CompileOptionsDigest(b));
+
+  b.arch = HopperH100();
+  EXPECT_NE(CompileOptionsDigest(a), CompileOptionsDigest(b));
+
+  CompileOptions c;
+  c.tuner.screen_top_k = 0;
+  EXPECT_NE(CompileOptionsDigest(a), CompileOptionsDigest(c));
+
+  CompileOptions d;
+  d.enable_auto_scheduling = false;
+  EXPECT_NE(CompileOptionsDigest(a), CompileOptionsDigest(d));
+
+  CompileOptions e;
+  e.verify = VerifyMode::kFull;
+  EXPECT_NE(CompileOptionsDigest(a), CompileOptionsDigest(e));
+}
+
+// Forcing every graph onto one fingerprint bucket exercises the
+// canonical-form comparison: structurally different graphs must not be
+// served each other's programs, and the mismatches are counted.
+TEST(EngineCacheTest, FingerprintCollisionFallsBackToCanonicalComparison) {
+  MetricsRegistry::Global().Reset();
+  EngineOptions options{CompileOptions()};
+  options.fingerprint_fn = [](const Graph&) { return 42ULL; };
+  CompilerEngine engine{options};
+
+  Graph mha = BuildMha(4, 64, 64, 32);
+  Graph mlp = BuildMlp(2, 64, 64, 64);
+
+  StatusOr<CompiledSubprogram> cold_mha = engine.Compile(mha);
+  ASSERT_TRUE(cold_mha.ok());
+  StatusOr<CompiledSubprogram> cold_mlp = engine.Compile(mlp);
+  ASSERT_TRUE(cold_mlp.ok());
+
+  CompilerEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_GE(stats.collisions, 1);  // mlp walked past mha's entry
+  EXPECT_EQ(engine.program_cache_size(), 2);  // both live in bucket 42
+
+  // Both graphs still hit their own entries afterwards, with the right
+  // programs.
+  StatusOr<CompiledSubprogram> warm_mlp = engine.Compile(mlp);
+  ASSERT_TRUE(warm_mlp.ok());
+  StatusOr<CompiledSubprogram> warm_mha = engine.Compile(mha);
+  ASSERT_TRUE(warm_mha.ok());
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  EXPECT_EQ(ProgramFingerprint(*warm_mlp), ProgramFingerprint(*cold_mlp));
+  EXPECT_EQ(ProgramFingerprint(*warm_mha), ProgramFingerprint(*cold_mha));
+  EXPECT_NE(ProgramFingerprint(*warm_mha), ProgramFingerprint(*warm_mlp));
+
+  EXPECT_GE(MetricsRegistry::Global().Snapshot().counter("engine.cache.collisions"), 1);
+}
+
+// Determinism pin: an engine-cached compile equals a cold compile from a
+// fresh engine bit-for-bit, across everything a caller can observe.
+TEST(EngineCacheTest, CachedEqualsColdBitForBit) {
+  CompilerEngine warm_engine{CompileOptions()};
+  Graph g = BuildMha(8, 128, 128, 64);
+  ASSERT_TRUE(warm_engine.Compile(g).ok());
+  StatusOr<CompiledSubprogram> cached = warm_engine.Compile(g);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_EQ(warm_engine.cache_stats().hits, 1);
+
+  CompilerEngine cold_engine{CompileOptions()};
+  StatusOr<CompiledSubprogram> cold = cold_engine.Compile(g);
+  ASSERT_TRUE(cold.ok());
+
+  EXPECT_EQ(ProgramFingerprint(*cached), ProgramFingerprint(*cold));
+  ExpectSameReport(cached->estimate, cold->estimate);
+  EXPECT_EQ(cached->tuning.simulated_tuning_seconds, cold->tuning.simulated_tuning_seconds);
+  EXPECT_EQ(cached->tuning.configs_tried, cold->tuning.configs_tried);
+  EXPECT_EQ(cached->tuning.configs_screened, cold->tuning.configs_screened);
+  EXPECT_EQ(cached->tuning.configs_early_quit, cold->tuning.configs_early_quit);
+  EXPECT_EQ(cached->candidate_programs, cold->candidate_programs);
+  ASSERT_EQ(cached->kernels.size(), cold->kernels.size());
+}
+
+TEST(EngineCacheTest, DisabledCacheCompilesEveryRequestCold) {
+  EngineOptions options{CompileOptions()};
+  options.enable_program_cache = false;
+  CompilerEngine engine{options};
+
+  Graph g = BuildMlp(2, 64, 64, 64);
+  StatusOr<CompiledSubprogram> first = engine.Compile(g);
+  StatusOr<CompiledSubprogram> second = engine.Compile(g);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+  EXPECT_EQ(engine.program_cache_size(), 0);
+  // Determinism holds regardless: both cold compiles agree.
+  EXPECT_EQ(ProgramFingerprint(*first), ProgramFingerprint(*second));
+}
+
+// Many threads, mixed duplicate and distinct graphs, one engine. Run under
+// TSan by the concurrency CI job (test name contains "Engine").
+TEST(EngineConcurrencyTest, ParallelCompileRequestsShareTheCache) {
+  CompilerEngine engine{CompileOptions()};
+  constexpr int kThreads = 8;
+
+  std::vector<Graph> graphs;
+  graphs.push_back(BuildMha(4, 64, 64, 32));
+  graphs.push_back(BuildMlp(2, 64, 64, 64));
+  graphs.push_back(BuildQkvProj(128, 256, 256));
+
+  std::vector<std::string> fingerprints(kThreads);
+  std::vector<Status> statuses(kThreads, Status::Ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Graph& g = graphs[static_cast<size_t>(t) % graphs.size()];
+      StatusOr<CompiledSubprogram> compiled = engine.Compile(g);
+      if (compiled.ok()) {
+        fingerprints[static_cast<size_t>(t)] = ProgramFingerprint(*compiled);
+      } else {
+        statuses[static_cast<size_t>(t)] = compiled.status();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(t)].ok())
+        << statuses[static_cast<size_t>(t)].ToString();
+    // Every thread compiling the same graph got the same program.
+    EXPECT_EQ(fingerprints[static_cast<size_t>(t)],
+              fingerprints[static_cast<size_t>(t) % graphs.size()]);
+  }
+  CompilerEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(engine.program_cache_size(), 3);
+  // Racing threads may both miss the same graph before either inserts, so
+  // misses can exceed the distinct-graph count; accounting still balances.
+  EXPECT_GE(stats.misses, 3);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+}
+
+TEST(EngineConcurrencyTest, ParallelCompileModelRequests) {
+  CompilerEngine engine{CompileOptions()};
+  constexpr int kThreads = 4;
+
+  std::vector<StatusOr<CompiledModel>> results;
+  results.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    results.push_back(NotFound("not run"));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ModelGraph model;
+      model.subprograms.push_back({BuildMha(4, 64, 64, 32), /*repeat=*/2});
+      model.subprograms.push_back({BuildMlp(2, 64, 64, 64), /*repeat=*/3});
+      results[static_cast<size_t>(t)] = engine.CompileModel(model);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_TRUE(results[static_cast<size_t>(t)].ok());
+    ExpectSameReport(results[static_cast<size_t>(t)]->total, results[0]->total);
+    EXPECT_EQ(results[static_cast<size_t>(t)]->compile_time.tuning_s,
+              results[0]->compile_time.tuning_s);
+  }
+  EXPECT_EQ(engine.program_cache_size(), 2);
+}
+
+}  // namespace
+}  // namespace spacefusion

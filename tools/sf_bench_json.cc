@@ -32,10 +32,9 @@ struct ModeResult {
 ModeResult CompileOnce(const ModelGraph& model, int screen_top_k) {
   CompileOptions options(AmpereA100());
   options.tuner.screen_top_k = screen_top_k;
-  Compiler compiler{options};
 
   auto start = std::chrono::steady_clock::now();
-  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, options);
   auto end = std::chrono::steady_clock::now();
   SF_CHECK(compiled.ok()) << compiled.status().ToString();
 

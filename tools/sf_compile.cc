@@ -1,0 +1,255 @@
+// sf-compile: pass-level compile driver (the counterpart to sf-verify).
+//
+// Compiles built-in models by name through the CompilerEngine, prints the
+// per-model compile-time breakdown / tuning statistics / cache behavior,
+// optionally dumps IR after selected passes, and exports timings + the full
+// metrics snapshot as JSON. Exit code 0 only when every requested model
+// compiled without a diagnostic.
+//
+//   sf-compile --model all --json COMPILE_times.json
+//   sf-compile --model bert --arch H100 --dump-after-pass SlicingPipeline
+//   sf-compile --model all --shared-cache   # cross-model program-cache reuse
+//   sf-compile --list
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/model_runner.h"
+#include "src/graph/models.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: sf-compile [--model NAME|all] [--batch N] [--seq N] [--arch NAME]\n"
+         "                  [--mode off|phase|full] [--dump-after-pass PASS[,PASS...]|all]\n"
+         "                  [--shared-cache] [--json PATH] [--list]\n"
+         "\n"
+         "  --model           built-in model to compile (default: all)\n"
+         "  --batch           batch size (default: 1)\n"
+         "  --seq             sequence length / image side for ViT (default: 128)\n"
+         "  --arch            target architecture: V100, A100, H100 (default: A100)\n"
+         "  --mode            verification level (default: SPACEFUSION_VERIFY, else phase)\n"
+         "  --dump-after-pass dump compilation artifacts after these passes (stderr)\n"
+         "  --shared-cache    serve all models from one engine (cross-model program cache)\n"
+         "  --json            write per-model timing/metrics JSON to PATH\n"
+         "  --list            print the built-in model and architecture names and exit\n";
+  return 2;
+}
+
+StatusOr<ModelKind> ModelKindFromName(const std::string& name) {
+  for (ModelKind kind : AllModelKinds()) {
+    if (ToLower(ModelKindName(kind)) == ToLower(name)) {
+      return kind;
+    }
+  }
+  return NotFound(StrCat("unknown model \"", name, "\""));
+}
+
+StatusOr<GpuArch> ArchFromName(const std::string& name) {
+  for (const GpuArch& arch : AllArchitectures()) {
+    if (ToLower(arch.name) == ToLower(name)) {
+      return arch;
+    }
+  }
+  return NotFound(StrCat("unknown architecture \"", name, "\""));
+}
+
+struct ModelResult {
+  std::string model;
+  Status status;
+  double wall_ms = 0.0;
+  CompiledModel compiled;
+};
+
+std::string ModelJson(const ModelResult& r, const CompilerEngine& engine) {
+  if (!r.status.ok()) {
+    return StrCat("{\"model\":\"", r.model, "\",\"status\":\"", r.status.ToString(), "\"}");
+  }
+  const CompiledModel& m = r.compiled;
+  long long screened = 0;
+  long long tried = 0;
+  for (const CompiledSubprogram& sub : m.unique_subprograms) {
+    screened += sub.tuning.configs_screened;
+    tried += sub.tuning.configs_tried;
+  }
+  CompilerEngine::CacheStats cache = engine.cache_stats();
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"model\":\"%s\",\"status\":\"OK\",\"wall_ms\":%.3f,"
+                "\"unique_subprograms\":%d,\"cache_hits\":%d,"
+                "\"compile\":{\"slicing_ms\":%.3f,\"enum_cfg_ms\":%.3f,"
+                "\"tuning_s\":%.6f,\"total_s\":%.6f},"
+                "\"estimate_us\":%.3f,"
+                "\"configs_screened\":%lld,\"configs_tried\":%lld,"
+                "\"engine_cache\":{\"hits\":%lld,\"misses\":%lld,\"collisions\":%lld}}",
+                r.model.c_str(), r.wall_ms, static_cast<int>(m.unique_subprograms.size()),
+                m.cache_hits, m.compile_time.slicing_ms, m.compile_time.enum_cfg_ms,
+                m.compile_time.tuning_s, m.compile_time.total_s(), m.total.time_us, screened,
+                tried, static_cast<long long>(cache.hits), static_cast<long long>(cache.misses),
+                static_cast<long long>(cache.collisions));
+  return buf;
+}
+
+int Run(int argc, char** argv) {
+  std::string model_arg = "all";
+  std::int64_t batch = 1;
+  std::int64_t seq = 128;
+  GpuArch arch = AmpereA100();
+  VerifyMode mode = VerifyModeFromEnv(VerifyMode::kPhase);
+  std::string json_path;
+  bool shared_cache = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--list") {
+      for (ModelKind kind : AllModelKinds()) {
+        std::cout << ModelKindName(kind) << "\n";
+      }
+      for (const GpuArch& a : AllArchitectures()) {
+        std::cout << a.name << "\n";
+      }
+      return 0;
+    }
+    if (flag == "--shared-cache") {
+      shared_cache = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Usage();
+    }
+    std::string value = argv[++i];
+    if (flag == "--model") {
+      model_arg = value;
+    } else if (flag == "--batch") {
+      batch = std::atoll(value.c_str());
+    } else if (flag == "--seq") {
+      seq = std::atoll(value.c_str());
+    } else if (flag == "--arch") {
+      StatusOr<GpuArch> parsed = ArchFromName(value);
+      if (!parsed.ok()) {
+        std::cerr << "sf-compile: " << parsed.status().message() << " (see --list)\n";
+        return 2;
+      }
+      arch = parsed.value();
+    } else if (flag == "--mode") {
+      StatusOr<VerifyMode> parsed = ParseVerifyMode(value);
+      if (!parsed.ok()) {
+        std::cerr << "sf-compile: " << parsed.status().message() << "\n";
+        return 2;
+      }
+      mode = parsed.value();
+    } else if (flag == "--dump-after-pass") {
+      // The PassManager reads the spec from the environment per compile, so
+      // the flag is just a setenv (and composes with an inherited value).
+      setenv("SPACEFUSION_DUMP_AFTER_PASS", value.c_str(), /*overwrite=*/1);
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (batch < 1 || seq < 1) {
+    std::cerr << "sf-compile: --batch and --seq must be positive\n";
+    return 2;
+  }
+
+  std::vector<ModelKind> kinds;
+  if (ToLower(model_arg) == "all") {
+    kinds = AllModelKinds();
+  } else {
+    StatusOr<ModelKind> kind = ModelKindFromName(model_arg);
+    if (!kind.ok()) {
+      std::cerr << "sf-compile: " << kind.status().message() << " (see --list)\n";
+      return 2;
+    }
+    kinds.push_back(kind.value());
+  }
+
+  CompileOptions options(arch);
+  options.verify = mode;
+  // One engine per model keeps the per-model timings cold; --shared-cache
+  // keeps one engine so structurally repeated subprograms across models are
+  // served from the program cache (engine.cache.hits).
+  CompilerEngine shared_engine{EngineOptions(options)};
+
+  bool all_ok = true;
+  std::string json = StrCat("{\"arch\":\"", arch.name, "\",\"batch\":", batch, ",\"seq\":", seq,
+                            ",\"models\":[");
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    ModelGraph model = BuildModel(GetModelConfig(kinds[i], batch, seq));
+    CompilerEngine cold_engine{EngineOptions(options)};
+    CompilerEngine& engine = shared_cache ? shared_engine : cold_engine;
+
+    ModelResult r;
+    r.model = ModelKindName(kinds[i]);
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, options, &engine);
+    r.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (compiled.ok()) {
+      r.compiled = std::move(compiled).value();
+    } else {
+      r.status = compiled.status();
+      all_ok = false;
+    }
+
+    if (i > 0) {
+      json += ",";
+    }
+    json += ModelJson(r, engine);
+
+    std::cout << r.model << " (batch=" << batch << ", seq=" << seq << ", " << arch.name << "): ";
+    if (!r.status.ok()) {
+      std::cout << "compile rejected\n" << r.status.ToString() << "\n";
+      continue;
+    }
+    CompilerEngine::CacheStats cache = engine.cache_stats();
+    std::printf(
+        "%d unique subprogram(s), %d repeat hit(s), est %.1f us\n"
+        "  scheduling %.2f ms, enumeration %.2f ms, tuning %.3f s, total %.3f s"
+        " (wall %.1f ms)\n"
+        "  engine cache: %lld hit(s), %lld miss(es), %lld collision(s)\n",
+        static_cast<int>(r.compiled.unique_subprograms.size()), r.compiled.cache_hits,
+        r.compiled.total.time_us, r.compiled.compile_time.slicing_ms,
+        r.compiled.compile_time.enum_cfg_ms, r.compiled.compile_time.tuning_s,
+        r.compiled.compile_time.total_s(), r.wall_ms, static_cast<long long>(cache.hits),
+        static_cast<long long>(cache.misses), static_cast<long long>(cache.collisions));
+  }
+  json += StrCat("],\n\"metrics\":", MetricsRegistry::Global().Snapshot().ToJson(), "}\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "sf-compile: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << json;
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) {
+  spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
+  return spacefusion::Run(argc, argv);
+}
