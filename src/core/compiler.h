@@ -19,6 +19,7 @@
 
 #include "src/graph/models.h"
 #include "src/obs/metrics.h"
+#include "src/obs/report.h"
 #include "src/pass/pass.h"
 #include "src/schedule/pipeline.h"
 #include "src/sim/cost_cache.h"
@@ -44,6 +45,12 @@ struct CompiledModel {
   // Process-wide metrics, snapshotted when this model finished compiling
   // (cumulative across every compile the process has run so far).
   MetricsSnapshot metrics;
+  // Merged observability report of this model's compile: per-pass timings
+  // summed by pass name across the unique-subprogram requests, tuning
+  // funnel and memory summary folded the same way. Carried here (not
+  // emitted to sinks — the per-request reports already were) so callers can
+  // inspect one compile without installing a ReportSink.
+  CompileReport report;
 };
 
 class Compiler {

@@ -1,10 +1,15 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/support/string_util.h"
 
 namespace spacefusion {
 
@@ -26,6 +31,61 @@ void MixString(std::uint64_t* h, const std::string& s) {
   for (char c : s) {
     MixInto(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
   }
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Verifier diagnostics travel inside the Status message as rendered lines
+// ("SFV0103 [error] graph(m): ..."); lift them back into structured form
+// for the report so sf-stats can bucket failures by code.
+void ExtractDiagnostics(const std::string& status_message, CompileReport* report) {
+  size_t pos = 0;
+  while (pos < status_message.size()) {
+    size_t end = status_message.find('\n', pos);
+    if (end == std::string::npos) {
+      end = status_message.size();
+    }
+    std::string line = status_message.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.compare(0, 3, "SFV") != 0) {
+      continue;
+    }
+    ReportDiagnostic diag;
+    size_t space = line.find(' ');
+    diag.code = line.substr(0, space);
+    diag.severity = line.find("[warning]") != std::string::npos ? "warning" : "error";
+    diag.message = std::move(line);
+    if (diag.severity == "error") {
+      ++report->verifier_errors;
+    } else {
+      ++report->verifier_warnings;
+    }
+    report->diagnostics.push_back(std::move(diag));
+  }
+}
+
+// Tuning funnel + memory-plan summary of a finished subprogram. Used for
+// cold compiles and cache hits alike (the cached entry carries its stats).
+void FillResultSummary(const CompiledSubprogram& compiled, CompileReport* report) {
+  report->configs_enumerated = compiled.tuning.configs_enumerated;
+  report->configs_screened = compiled.tuning.configs_screened;
+  report->configs_admitted = compiled.tuning.configs_tried;
+  report->tuning_seconds = compiled.tuning.simulated_tuning_seconds;
+  report->kernels = static_cast<int>(compiled.program.kernels.size());
+  for (const SmgSchedule& kernel : compiled.program.kernels) {
+    report->smem_bytes = std::max(report->smem_bytes, kernel.memory.smem_bytes);
+    report->reg_bytes = std::max(report->reg_bytes, kernel.memory.reg_bytes);
+  }
+  report->modeled_time_us = compiled.estimate.time_us;
+}
+
+void AddLabeledCounter(const char* base, const std::string& request_id) {
+  MetricsRegistry::Global()
+      .GetCounter(LabeledMetricName(base, "request_id", request_id))
+      .Increment(1);
 }
 
 }  // namespace
@@ -94,37 +154,114 @@ StatusOr<CompiledSubprogram> CompilerEngine::Compile(const Graph& graph) {
 
 StatusOr<CompiledSubprogram> CompilerEngine::Compile(const Graph& graph,
                                                      const CompileOptions& options) {
+  CompileReport report;
+  return CompileWithReport(graph, options, /*model_name=*/"", &report);
+}
+
+std::string CompilerEngine::NextRequestId() {
+  // Deterministic (no wall clock, no randomness): compiles stay bit-identical
+  // run to run, and ids double as stable report file names.
+  static std::atomic<std::int64_t> next{0};
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "req-%06lld",
+                static_cast<long long>(next.fetch_add(1, std::memory_order_relaxed) + 1));
+  return buf;
+}
+
+void CompilerEngine::EmitReport(const CompileReport& report) {
+  if (options_.report_sink != nullptr) {
+    options_.report_sink->Emit(report);
+  }
+  if (ReportSink* env_sink = EnvReportSink(); env_sink != nullptr) {
+    env_sink->Emit(report);
+  }
+}
+
+StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& graph,
+                                                               const CompileOptions& options,
+                                                               const std::string& model_name,
+                                                               CompileReport* report) {
+  // Shared side of the obs state lock: a concurrent MetricsRegistry::Reset
+  // or TraceSession start/stop waits for this request to finish instead of
+  // tearing its metrics/spans in half. Never nested (CompileModel defers to
+  // this method for each subprogram, one at a time).
+  ObsCompileLock obs_lock;
+  const auto request_start = std::chrono::steady_clock::now();
   const std::uint64_t digest =
       &options == &options_.compile ? default_digest_ : CompileOptionsDigest(options);
+  const std::uint64_t fingerprint = Fingerprint(graph);
+  report->request_id = NextRequestId();
+  report->model = model_name;
+  report->graph_fingerprint = fingerprint;
+  report->options_digest = digest;
+  FlightRecorder::Global().Record(
+      report->request_id, "engine",
+      StrCat("request start: graph ", graph.name(), ", ", graph.ops().size(), " op(s)"));
+
   std::uint64_t key = 0;
   std::string canonical;
   if (options_.enable_program_cache) {
-    std::uint64_t fingerprint = Fingerprint(graph);
     key = 1469598103934665603ULL;
     MixInto(&key, fingerprint);
     MixInto(&key, digest);
     canonical = graph.CanonicalForm();
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      bool collided = false;
-      for (const CacheEntry& entry : it->second) {
-        if (entry.digest == digest && entry.canonical == canonical) {
-          ++stats_.hits;
-          SF_COUNTER_ADD("engine.cache.hits", 1);
-          SF_COUNTER_ADD("compiler.cache_hits", 1);
-          return entry.compiled;
+    bool hit = false;
+    bool collided = false;
+    CompiledSubprogram cached;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        for (const CacheEntry& entry : it->second) {
+          if (entry.digest == digest && entry.canonical == canonical) {
+            ++stats_.hits;
+            hit = true;
+            cached = entry.compiled;
+            break;
+          }
+          collided = true;
         }
-        collided = true;
       }
-      if (collided) {
-        ++stats_.collisions;
-        SF_COUNTER_ADD("engine.cache.collisions", 1);
+      if (hit) {
+        SF_COUNTER_ADD("engine.cache.hits", 1);
+        SF_COUNTER_ADD("compiler.cache_hits", 1);
+      } else {
+        if (collided) {
+          ++stats_.collisions;
+          SF_COUNTER_ADD("engine.cache.collisions", 1);
+        }
+        ++stats_.misses;
+        SF_COUNTER_ADD("engine.cache.misses", 1);
+        SF_COUNTER_ADD("compiler.cache_misses", 1);
       }
     }
-    ++stats_.misses;
-    SF_COUNTER_ADD("engine.cache.misses", 1);
-    SF_COUNTER_ADD("compiler.cache_misses", 1);
+    if (options_.label_metrics_by_request) {
+      AddLabeledCounter(hit ? "engine.cache.hits" : "engine.cache.misses", report->request_id);
+    }
+    if (hit) {
+      cached.request_id = report->request_id;
+      FillResultSummary(cached, report);
+      report->outcome = "cache_hit";
+      report->wall_ms = MsSince(request_start);
+      FlightRecorder::Global().Record(report->request_id, "engine",
+                                      "request served from program cache");
+      EmitReport(*report);
+      return cached;
+    }
+    if (collided) {
+      // A fingerprint alias: worth a post-mortem even though the request
+      // recovers by compiling fresh into the same bucket.
+      report->cache_collision = true;
+      if (options_.label_metrics_by_request) {
+        AddLabeledCounter("engine.cache.collisions", report->request_id);
+      }
+      FlightRecorder::Global().Record(
+          report->request_id, "engine",
+          StrCat("cache collision: fingerprint aliased, canonical form mismatched (graph ",
+                 graph.name(), ")"));
+      FlightRecorder::Global().DumpToFailureLog(report->request_id,
+                                                "program-cache fingerprint collision");
+    }
   } else {
     std::lock_guard<std::mutex> lock(cache_mu_);
     ++stats_.misses;
@@ -132,7 +269,23 @@ StatusOr<CompiledSubprogram> CompilerEngine::Compile(const Graph& graph,
     SF_COUNTER_ADD("compiler.cache_misses", 1);
   }
 
-  SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, CompileUncached(graph, options, digest));
+  StatusOr<CompiledSubprogram> compiled =
+      CompileUncached(graph, options, digest, report->request_id, report);
+  report->wall_ms = MsSince(request_start);
+  if (!compiled.ok()) {
+    report->outcome = "error";
+    report->status_message = compiled.status().ToString();
+    ExtractDiagnostics(report->status_message, report);
+    FlightRecorder::Global().Record(report->request_id, "engine",
+                                    StrCat("request failed: ", compiled.status().message()));
+    FlightRecorder::Global().DumpToFailureLog(report->request_id, compiled.status().message());
+    EmitReport(*report);
+    return compiled.status();
+  }
+  CompiledSubprogram result = std::move(compiled).value();
+  result.request_id = report->request_id;
+  FillResultSummary(result, report);
+  report->outcome = "cold";
 
   if (options_.enable_program_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -145,15 +298,20 @@ StatusOr<CompiledSubprogram> CompilerEngine::Compile(const Graph& graph,
       }
     }
     if (!present) {
-      bucket.push_back(CacheEntry{digest, std::move(canonical), compiled});
+      bucket.push_back(CacheEntry{digest, std::move(canonical), result});
     }
   }
-  return compiled;
+  report->wall_ms = MsSince(request_start);
+  FlightRecorder::Global().Record(report->request_id, "engine", "request done");
+  EmitReport(*report);
+  return result;
 }
 
 StatusOr<CompiledSubprogram> CompilerEngine::CompileUncached(const Graph& graph,
                                                              const CompileOptions& options,
-                                                             std::uint64_t digest) {
+                                                             std::uint64_t digest,
+                                                             const std::string& request_id,
+                                                             CompileReport* report) {
   ScopedSpan compile_span("compiler.compile");
   compile_span.Arg("graph", graph.name()).Arg("ops", static_cast<std::int64_t>(graph.ops().size()));
   SF_COUNTER_ADD("compiler.subprograms_compiled", 1);
@@ -167,8 +325,19 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileUncached(const Graph& graph,
   state.cost_cache = CostCacheFor(digest);
   state.fusion = &fusion_;
 
-  PassManager manager(BuildCompilePassList(options));
-  SF_RETURN_IF_ERROR(manager.Run(&state));
+  PassManagerOptions pm_options;
+  pm_options.request_id = request_id;
+  if (options_.label_metrics_by_request) {
+    pm_options.metric_label = LabeledMetricName("", "request_id", request_id);
+  }
+  PassManager manager(BuildCompilePassList(options), std::move(pm_options));
+  Status run_status = manager.Run(&state);
+  // Pass timings reach the report even when a pass failed: the partial
+  // breakdown is exactly what a post-mortem needs.
+  for (const PassTiming& timing : manager.timings()) {
+    report->passes.push_back({timing.pass, timing.ms, timing.cpu_ms});
+  }
+  SF_RETURN_IF_ERROR(run_status);
 
   CompiledSubprogram best = std::move(state.best);
   // Table 4's wall-clock columns, rebuilt from the pass timings: the
@@ -180,6 +349,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileUncached(const Graph& graph,
   best.compile_time.slicing_ms = std::max(0.0, scheduling_ms - enum_ms);
   best.compile_time.enum_cfg_ms = enum_ms;
   best.compile_time.tuning_s = state.total_tuning_s;
+  best.tuning.configs_enumerated = state.enumerated_configs;
   best.tuning.configs_screened = state.configs_screened;
   best.tuning.configs_tried = state.configs_tried;
   best.tuning.best_time_us = best.estimate.time_us;
@@ -199,19 +369,57 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
   ScopedSpan model_span("compiler.compile_model");
   model_span.Arg("model", model.config.name)
       .Arg("subprograms", static_cast<std::int64_t>(model.subprograms.size()));
+  const auto model_start = std::chrono::steady_clock::now();
   CompiledModel out;
+  out.report.request_id = NextRequestId();
+  out.report.model = model.config.name;
+  out.report.options_digest =
+      &options == &options_.compile ? default_digest_ : CompileOptionsDigest(options);
+  std::uint64_t model_fingerprint = 1469598103934665603ULL;
+  bool any_cold = false;
   // Intra-request dedup: repeated subprograms of *this* model compile once
   // and count into CompiledModel::cache_hits (the paper's statistic).
-  // Cross-request reuse happens inside Compile via the program cache.
+  // Cross-request reuse happens inside CompileWithReport via the program
+  // cache.
   std::map<std::uint64_t, size_t> compiled_index;
   for (const Subprogram& sub : model.subprograms) {
     std::uint64_t key = Fingerprint(sub.graph);
+    MixInto(&model_fingerprint, key);
     auto it = compiled_index.find(key);
     if (it == compiled_index.end()) {
-      SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, Compile(sub.graph, options));
+      CompileReport sub_report;
+      SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled,
+                          CompileWithReport(sub.graph, options, model.config.name, &sub_report));
       out.compile_time.slicing_ms += compiled.compile_time.slicing_ms;
       out.compile_time.enum_cfg_ms += compiled.compile_time.enum_cfg_ms;
       out.compile_time.tuning_s += compiled.compile_time.tuning_s;
+      // Fold the per-request report into the model-level one: passes summed
+      // by name, funnel counters added, memory maxima kept.
+      any_cold = any_cold || sub_report.outcome == "cold";
+      out.report.cache_collision = out.report.cache_collision || sub_report.cache_collision;
+      for (const PassReportEntry& pass : sub_report.passes) {
+        bool merged = false;
+        for (PassReportEntry& have : out.report.passes) {
+          if (have.pass == pass.pass) {
+            have.wall_ms += pass.wall_ms;
+            have.cpu_ms += pass.cpu_ms;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          out.report.passes.push_back(pass);
+        }
+      }
+      out.report.configs_enumerated += sub_report.configs_enumerated;
+      out.report.configs_screened += sub_report.configs_screened;
+      out.report.configs_admitted += sub_report.configs_admitted;
+      out.report.tuning_seconds += sub_report.tuning_seconds;
+      out.report.verifier_errors += sub_report.verifier_errors;
+      out.report.verifier_warnings += sub_report.verifier_warnings;
+      out.report.kernels += sub_report.kernels;
+      out.report.smem_bytes = std::max(out.report.smem_bytes, sub_report.smem_bytes);
+      out.report.reg_bytes = std::max(out.report.reg_bytes, sub_report.reg_bytes);
       compiled_index.emplace(key, out.unique_subprograms.size());
       out.unique_subprograms.push_back(std::move(compiled));
       it = compiled_index.find(key);
@@ -221,6 +429,12 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
     }
     out.total += out.unique_subprograms[it->second].estimate.Scaled(sub.repeat);
   }
+  out.report.graph_fingerprint = model_fingerprint;
+  out.report.outcome = any_cold || out.unique_subprograms.empty() ? "cold" : "cache_hit";
+  out.report.modeled_time_us = out.total.time_us;
+  out.report.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - model_start)
+          .count();
   model_span.Arg("cache_hits", out.cache_hits).Arg("total_us", out.total.time_us);
   out.metrics = MetricsRegistry::Global().Snapshot();
   return out;

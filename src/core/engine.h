@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/compiler.h"
+#include "src/obs/report.h"
 #include "src/pass/pass.h"
 #include "src/sim/cost_cache.h"
 
@@ -45,6 +46,16 @@ struct EngineOptions {
   // Graph::StructuralHash; tests override it to force collisions onto the
   // canonical-form comparison path.
   std::function<std::uint64_t(const Graph&)> fingerprint_fn;
+  // Receives the CompileReport of every finished request (cold, cache hit,
+  // or failed). Non-owning; must outlive the engine and be thread-safe.
+  // Independent of (and in addition to) the SPACEFUSION_REPORT_DIR sink.
+  ReportSink* report_sink = nullptr;
+  // Additionally record engine/pass metrics under per-request labeled names
+  // (engine.cache.hits{request_id="req-000001"}, ...) so concurrent
+  // compiles stay attributable in the OpenMetrics exposition. Off by
+  // default: every request adds new time series, so enable only where the
+  // request volume is bounded (tests, short-lived tools).
+  bool label_metrics_by_request = false;
 
   EngineOptions() = default;
   explicit EngineOptions(CompileOptions c) : compile(std::move(c)) {}
@@ -95,8 +106,21 @@ class CompilerEngine {
   // CostCache keys are (kernel signature, config) — arch-blind — so each
   // options digest gets its own cache.
   CostCache* CostCacheFor(std::uint64_t digest);
+  // One engine request: cache lookup, compile on miss, and the request's
+  // CompileReport (written into *report and emitted to the sinks).
+  StatusOr<CompiledSubprogram> CompileWithReport(const Graph& graph,
+                                                 const CompileOptions& options,
+                                                 const std::string& model_name,
+                                                 CompileReport* report);
   StatusOr<CompiledSubprogram> CompileUncached(const Graph& graph, const CompileOptions& options,
-                                               std::uint64_t digest);
+                                               std::uint64_t digest,
+                                               const std::string& request_id,
+                                               CompileReport* report);
+  // Forwards a finished report to the options sink and the
+  // SPACEFUSION_REPORT_DIR sink (when set).
+  void EmitReport(const CompileReport& report);
+  // Process-wide deterministic request ids: "req-000001", "req-000002", ...
+  static std::string NextRequestId();
 
   EngineOptions options_;
   std::uint64_t default_digest_ = 0;

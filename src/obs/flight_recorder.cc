@@ -1,0 +1,113 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+std::string FlightEvent::ToString() const {
+  char header[64];
+  std::snprintf(header, sizeof(header), "#%06lld +%.3fms", static_cast<long long>(seq),
+                elapsed_ms);
+  std::string out = header;
+  if (!request_id.empty()) {
+    out += StrCat(" [", request_id, "]");
+  }
+  out += StrCat(" ", category, ": ", message);
+  return out;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)), epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked: usable at exit
+  return *recorder;
+}
+
+void FlightRecorder::Record(std::string request_id, std::string category, std::string message) {
+  FlightEvent event;
+  event.elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+          .count();
+  event.request_id = std::move(request_id);
+  event.category = std::move(category);
+  event.message = std::move(message);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<size_t>(next_seq_) % capacity_] = std::move(event);
+    ++base_seq_;
+  }
+  ++next_seq_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::int64_t seq = base_seq_; seq < next_seq_; ++seq) {
+    out.push_back(ring_[static_cast<size_t>(seq) % capacity_]);
+  }
+  return out;
+}
+
+std::int64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_seq_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+  base_seq_ = 0;
+}
+
+std::string FlightRecorder::Render() const {
+  std::vector<FlightEvent> events = Snapshot();
+  std::int64_t n_dropped = dropped();
+  std::string out =
+      StrCat("flight recorder: ", events.size(), " event(s)",
+             n_dropped > 0 ? StrCat(" (", n_dropped, " older event(s) overwritten)") : "", "\n");
+  for (const FlightEvent& event : events) {
+    out += event.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::DumpToFailureLog(const std::string& request_id,
+                                      const std::string& reason) const {
+  std::string body = StrCat("flight dump for ", request_id, ": ", reason, "\n", Render());
+  const char* dir = std::getenv("SPACEFUSION_REPORT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // ok if it already exists
+    std::string name;
+    for (char c : request_id) {
+      bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                  c == '-' || c == '_';
+      name.push_back(safe ? c : '_');
+    }
+    std::string path = StrCat(dir, "/flight-", name.empty() ? "unnamed" : name, ".log");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      return;
+    }
+    SF_LOG(Warning) << "cannot write flight dump " << path << "; dumping to stderr";
+  }
+  std::fprintf(stderr, "%s", body.c_str());
+}
+
+}  // namespace spacefusion

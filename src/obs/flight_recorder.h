@@ -1,0 +1,72 @@
+// Bounded in-memory flight recorder for post-mortem compile debugging.
+//
+// The engine and pass pipeline append one-line events (request started,
+// pass finished, cache outcome, verifier rejection) to a fixed-capacity
+// ring buffer; old events are overwritten, so steady-state cost is constant
+// and the recorder is always on. When a compile fails, a verifier rejects,
+// or the engine confirms a cache collision, the engine dumps the recorder —
+// to <SPACEFUSION_REPORT_DIR>/flight-<request_id>.log when the variable is
+// set, else to stderr — capturing the events leading up to the failure,
+// including those of concurrent requests (each event carries its request
+// id, so interleavings are attributable).
+#ifndef SPACEFUSION_SRC_OBS_FLIGHT_RECORDER_H_
+#define SPACEFUSION_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spacefusion {
+
+struct FlightEvent {
+  std::int64_t seq = 0;        // monotone per recorder, never reused
+  double elapsed_ms = 0.0;     // since recorder construction (steady clock)
+  std::string request_id;      // "" for process-scoped events
+  std::string category;        // "engine" | "pass" | "verify" | ...
+  std::string message;
+
+  // "#000017 +12.3ms [req-000002] pass: Tune done in 8.1ms"
+  std::string ToString() const;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  // The process-wide recorder the engine records into. Leaked, like the
+  // metrics registry, so it is usable during static destruction.
+  static FlightRecorder& Global();
+
+  void Record(std::string request_id, std::string category, std::string message);
+
+  // Buffered events, oldest first. At most capacity() entries.
+  std::vector<FlightEvent> Snapshot() const;
+  // Events overwritten since construction / the last Clear.
+  std::int64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  // One event per line, prefixed with a header noting how many earlier
+  // events were dropped.
+  std::string Render() const;
+
+  // Writes Render() to <SPACEFUSION_REPORT_DIR>/flight-<request_id>.log, or
+  // to stderr when the variable is unset. Never throws or fails the caller.
+  void DumpToFailureLog(const std::string& request_id, const std::string& reason) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;   // ring_[seq % capacity_]
+  std::int64_t next_seq_ = 0;
+  std::int64_t base_seq_ = 0;       // seq of the oldest retained event
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,5 +1,6 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -29,6 +30,9 @@ std::string FormatNumber(double v) {
 }  // namespace
 
 void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) {
+    return;  // NaN/Inf would poison sum, min/max, and have no bucket
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (stats_.bucket_counts.empty()) {
     stats_.bucket_counts.assign(kNumBuckets, 0);
@@ -56,6 +60,38 @@ HistogramStats Histogram::stats() const {
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = HistogramStats();
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0 || bucket_counts.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Continuous target rank in (0, count]; walk the cumulative bucket counts
+  // to the bucket containing it, then interpolate between the bucket's
+  // bounds by the rank's position inside the bucket.
+  const double rank = std::max(q * static_cast<double>(count), 1e-9);
+  std::int64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::int64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Bucket i spans (4^(i-1), 4^i]; the first and last occupied buckets
+      // are truncated to the observed min/max so the estimate never leaves
+      // the data range (and single-sample histograms are exact).
+      const double lo = i == 0 ? min : std::pow(4.0, static_cast<double>(i) - 1.0);
+      const double hi =
+          i + 1 == bucket_counts.size() ? max : std::pow(4.0, static_cast<double>(i));
+      const double fraction = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(in_bucket);
+      const double estimate = lo + (hi - lo) * fraction;
+      return std::min(max, std::max(min, estimate));
+    }
+    cumulative += in_bucket;
+  }
+  return max;
 }
 
 std::int64_t MetricsSnapshot::counter(const std::string& name) const {
@@ -96,12 +132,151 @@ std::string MetricsSnapshot::ToJson() const {
     first = false;
     out += StrCat("\"", name, "\":{\"count\":", h.count, ",\"sum\":", FormatNumber(h.sum),
                   ",\"min\":", FormatNumber(h.min), ",\"max\":", FormatNumber(h.max),
-                  ",\"mean\":", FormatNumber(h.mean()), ",\"buckets\":[",
-                  StrJoin(h.bucket_counts, ","), "]}");
+                  ",\"mean\":", FormatNumber(h.mean()), ",\"p50\":", FormatNumber(h.p50()),
+                  ",\"p95\":", FormatNumber(h.p95()), ",\"p99\":", FormatNumber(h.p99()),
+                  ",\"buckets\":[", StrJoin(h.bucket_counts, ","), "]}");
   }
   out += "}}";
   return out;
 }
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrCat(name, " ", value, "\n");
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StrCat(name, " ", FormatNumber(value), "\n");
+  }
+  for (const auto& [name, h] : histograms) {
+    out += StrCat(name, " count=", h.count, " sum=", FormatNumber(h.sum),
+                  " mean=", FormatNumber(h.mean()), " p50=", FormatNumber(h.p50()),
+                  " p95=", FormatNumber(h.p95()), " p99=", FormatNumber(h.p99()),
+                  " min=", FormatNumber(h.min), " max=", FormatNumber(h.max), "\n");
+  }
+  return out;
+}
+
+namespace {
+
+// Splits "engine.cache.hits{request_id=\"r\"}" into the sanitized family
+// name and the verbatim label block ("" when unlabeled).
+struct MetricNameParts {
+  std::string family;
+  std::string labels;  // includes the surrounding braces
+};
+
+MetricNameParts SplitMetricName(const std::string& name) {
+  MetricNameParts parts;
+  size_t brace = name.find('{');
+  std::string base = brace == std::string::npos ? name : name.substr(0, brace);
+  if (brace != std::string::npos) {
+    parts.labels = name.substr(brace);
+  }
+  parts.family.reserve(base.size());
+  for (char c : base) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                 c == '_' || c == ':';
+    parts.family.push_back(valid ? c : '_');
+  }
+  if (parts.family.empty() || (parts.family[0] >= '0' && parts.family[0] <= '9')) {
+    parts.family.insert(parts.family.begin(), '_');
+  }
+  return parts;
+}
+
+// Merges an extra label into a (possibly empty) verbatim label block.
+std::string WithExtraLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) {
+    return StrCat("{", extra, "}");
+  }
+  // Insert before the closing brace.
+  return StrCat(labels.substr(0, labels.size() - 1), ",", extra, "}");
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Group label variants under one family so each family gets exactly one
+  // TYPE line. std::map keys keep families sorted.
+  struct Series {
+    std::string labels;
+    const std::int64_t* counter = nullptr;
+    const double* gauge = nullptr;
+    const HistogramStats* histogram = nullptr;
+  };
+  std::map<std::string, std::pair<const char*, std::vector<Series>>> families;
+  for (const auto& [name, value] : snapshot.counters) {
+    MetricNameParts parts = SplitMetricName(name);
+    auto& family = families[parts.family];
+    family.first = "counter";
+    family.second.push_back({parts.labels, &value, nullptr, nullptr});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    MetricNameParts parts = SplitMetricName(name);
+    auto& family = families[parts.family];
+    family.first = "gauge";
+    family.second.push_back({parts.labels, nullptr, &value, nullptr});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    MetricNameParts parts = SplitMetricName(name);
+    auto& family = families[parts.family];
+    family.first = "histogram";
+    family.second.push_back({parts.labels, nullptr, nullptr, &h});
+  }
+
+  for (const auto& [family, entry] : families) {
+    out += StrCat("# TYPE ", family, " ", entry.first, "\n");
+    for (const Series& series : entry.second) {
+      if (series.counter != nullptr) {
+        out += StrCat(family, "_total", series.labels, " ", *series.counter, "\n");
+      } else if (series.gauge != nullptr) {
+        out += StrCat(family, series.labels, " ", FormatNumber(*series.gauge), "\n");
+      } else {
+        const HistogramStats& h = *series.histogram;
+        std::int64_t cumulative = 0;
+        for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          std::string le = i + 1 == h.bucket_counts.size()
+                               ? std::string("+Inf")
+                               : FormatNumber(std::pow(4.0, static_cast<double>(i)));
+          out += StrCat(family, "_bucket", WithExtraLabel(series.labels, StrCat("le=\"", le, "\"")),
+                        " ", cumulative, "\n");
+        }
+        if (h.bucket_counts.empty()) {
+          out += StrCat(family, "_bucket", WithExtraLabel(series.labels, "le=\"+Inf\""), " 0\n");
+        }
+        out += StrCat(family, "_sum", series.labels, " ", FormatNumber(h.sum), "\n");
+        out += StrCat(family, "_count", series.labels, " ", h.count, "\n");
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string LabeledMetricName(const std::string& base, const std::string& label_key,
+                              const std::string& label_value) {
+  std::string escaped;
+  escaped.reserve(label_value.size());
+  for (char c : label_value) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+    }
+    escaped.push_back(c == '\n' ? ' ' : c);
+  }
+  return StrCat(base, "{", label_key, "=\"", escaped, "\"}");
+}
+
+namespace obs_internal {
+
+std::shared_mutex& ObsStateMutex() {
+  static std::shared_mutex* mu = new std::shared_mutex();  // leaked: usable at exit
+  return *mu;
+}
+
+}  // namespace obs_internal
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // leaked: usable at exit
@@ -159,6 +334,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
+  // Exclusive against ObsCompileLock holders: wait out in-flight compiles so
+  // no request sees a half-zeroed registry.
+  std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -57,10 +58,21 @@ struct HistogramStats {
   std::vector<std::int64_t> bucket_counts;
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  // Quantile estimate from the bucket counts: the target rank's bucket is
+  // found by cumulative count and the value interpolated linearly between
+  // the bucket bounds, clamped to the observed [min, max]. Exact for empty
+  // (0) and single-sample histograms; q is clamped to [0, 1].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 // Exponential-bucket histogram (upper bounds 1, 4, 16, ..., 4^15, +Inf) —
 // wide enough for microsecond timings and DRAM byte counts alike.
+// Non-finite observations (NaN, ±Inf) are rejected: they would poison sum /
+// min / max and have no bucket.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 17;  // 16 finite bounds + overflow
@@ -85,7 +97,26 @@ struct MetricsSnapshot {
   double gauge(const std::string& name) const;
 
   std::string ToJson() const;
+  // Human-readable rendering (one metric per line) for CLI --metrics flags.
+  std::string ToText() const;
 };
+
+// Renders a snapshot as OpenMetrics / Prometheus text exposition: metric
+// names are sanitized to [a-zA-Z0-9_:] ("engine.cache.hits" becomes family
+// "engine_cache_hits" with a "_total" counter sample), histograms expose
+// cumulative le="" buckets plus _sum/_count, and a label block embedded in
+// the metric name (see LabeledMetricName) is emitted verbatim on the
+// samples. The document always ends with "# EOF".
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+// Builds a labeled metric name: LabeledMetricName("engine.cache.hits",
+// "request_id", "req-000001") == R"(engine.cache.hits{request_id="req-000001"})".
+// The registry treats the result as an independent metric (a time series in
+// Prometheus terms); RenderOpenMetrics groups it under the base family.
+// Label values are escaped; keep cardinality bounded — label per-request
+// metrics only behind an explicit opt-in.
+std::string LabeledMetricName(const std::string& base, const std::string& label_key,
+                              const std::string& label_value);
 
 class MetricsRegistry {
  public:
@@ -100,9 +131,13 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
+  // Snapshot rendered as OpenMetrics text (scrape endpoint payload).
+  std::string RenderOpenMetrics() const { return ::spacefusion::RenderOpenMetrics(Snapshot()); }
 
   // Zeroes every metric in place (bench / test isolation). References
-  // handed out earlier remain valid.
+  // handed out earlier remain valid. Excluded against in-flight compiles:
+  // Reset waits for every open ObsCompileLock, so a concurrent
+  // CompilerEngine request is never half-zeroed.
   void Reset();
 
  private:
@@ -114,6 +149,32 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace obs_internal {
+
+// Reader/writer lock serializing whole-subsystem observability mutations
+// (MetricsRegistry::Reset, TraceSession start/stop) against in-flight
+// compiles. Compiles take the shared side via ObsCompileLock; the mutators
+// take the exclusive side internally. Leaked, like the registries, so it is
+// usable during static destruction.
+std::shared_mutex& ObsStateMutex();
+
+}  // namespace obs_internal
+
+// Held (shared) by CompilerEngine for the duration of one uncached compile:
+// a concurrent MetricsRegistry::Reset() or TraceSession start/stop blocks
+// until the compile finishes instead of tearing its metrics/spans in half.
+// Not recursive — acquire once per compile request, never nested.
+class ObsCompileLock {
+ public:
+  ObsCompileLock() : lock_(obs_internal::ObsStateMutex()) {}
+
+  ObsCompileLock(const ObsCompileLock&) = delete;
+  ObsCompileLock& operator=(const ObsCompileLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
 };
 
 }  // namespace spacefusion

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <shared_mutex>
 
+#include "src/obs/metrics.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 
@@ -189,6 +191,9 @@ ScopedSpan& ScopedSpan::Arg(const char* key, const std::string& value) {
 }
 
 TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  // Exclusive against ObsCompileLock holders: starting capture mid-compile
+  // would record a torn prefix of that request's spans.
+  std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
   SF_CHECK(StartCapture()) << "a trace session is already active";
 }
 
@@ -204,7 +209,12 @@ Status TraceSession::Stop() {
     return Status::Ok();
   }
   stopped_ = true;
-  events_ = StopCapture();
+  {
+    // Wait out in-flight compiles so a session never ends with half of a
+    // request's spans captured and the rest dropped.
+    std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
+    events_ = StopCapture();
+  }
   if (path_.empty()) {
     return Status::Ok();
   }

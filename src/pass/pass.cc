@@ -3,12 +3,24 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/support/string_util.h"
 
 namespace spacefusion {
+
+namespace {
+
+std::string FlightMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
 
 CompileOptions::CompileOptions() : arch(AmpereA100()) {}
 
@@ -137,6 +149,7 @@ Status PassManager::Run(CompilationState* state) {
   for (const std::unique_ptr<Pass>& pass : passes_) {
     const std::string span_name = StrCat("pass.", pass->name());
     auto start = std::chrono::steady_clock::now();
+    std::clock_t cpu_start = std::clock();
     {
       ScopedSpan span(span_name.c_str(), "pass");
       if (verify_on) {
@@ -149,14 +162,24 @@ Status PassManager::Run(CompilationState* state) {
         status = pass->VerifyAfter(state);
       }
     }
+    double cpu_ms = 1e3 * static_cast<double>(std::clock() - cpu_start) / CLOCKS_PER_SEC;
     double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                     .count();
-    timings_.push_back({pass->name(), ms});
-    MetricsRegistry::Global().GetCounter(StrCat("pass.", pass->name(), ".runs")).Increment(1);
-    MetricsRegistry::Global().GetHistogram(StrCat("pass.", pass->name(), ".ms")).Observe(ms);
+    timings_.push_back({pass->name(), ms, cpu_ms});
+    MetricsRegistry::Global()
+        .GetCounter(StrCat("pass.", pass->name(), ".runs", options_.metric_label))
+        .Increment(1);
+    MetricsRegistry::Global()
+        .GetHistogram(StrCat("pass.", pass->name(), ".ms", options_.metric_label))
+        .Observe(ms);
     if (!status.ok()) {
+      FlightRecorder::Global().Record(
+          options_.request_id, "pass",
+          StrCat(pass->name(), " failed after ", FlightMs(ms), " ms: ", status.message()));
       break;
     }
+    FlightRecorder::Global().Record(options_.request_id, "pass",
+                                    StrCat(pass->name(), " done in ", FlightMs(ms), " ms"));
     if (PassDumpRequested(options_.dump_after_pass, pass->name()) && options_.dump_sink) {
       options_.dump_sink(pass->name(), state->DumpArtifacts());
     }

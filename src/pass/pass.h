@@ -72,6 +72,10 @@ struct CompiledSubprogram {
   CompileTimeBreakdown compile_time;
   TuningStats tuning;
   int candidate_programs = 1;        // Sec. 5.3 alternatives explored
+  // Engine request that produced this result for *this* caller. A program
+  // served from the cache carries the id of the request that hit, not of
+  // the request that originally compiled it.
+  std::string request_id;
 };
 
 // Distinct fusion patterns discovered across compilations (Table 6).
@@ -150,7 +154,11 @@ class Pass {
 
 struct PassTiming {
   std::string pass;
-  double ms = 0.0;
+  double ms = 0.0;      // wall clock
+  // Process CPU time (std::clock) spent while the pass ran. Greater than
+  // wall means parallel work (the tuner's pool); approximate when other
+  // requests compile concurrently in the same process.
+  double cpu_ms = 0.0;
 };
 
 // True when `pass_name` matches the SPACEFUSION_DUMP_AFTER_PASS spec: "all"
@@ -164,6 +172,14 @@ struct PassManagerOptions {
   std::string dump_after_pass;
   // Where dumps go; default writes to stderr.
   std::function<void(const std::string& pass_name, const std::string& text)> dump_sink;
+  // Request id stamped onto flight-recorder events ("" = unattributed).
+  std::string request_id;
+  // Suffix appended to the pass.<name>.{runs,ms} metric names, normally a
+  // LabeledMetricName label block like {request_id="req-000001"} so
+  // concurrent compiles stay attributable. Empty (the default) keeps the
+  // unlabeled process-wide series; per-request labeling is opt-in at the
+  // engine (EngineOptions::label_metrics_by_request) to bound cardinality.
+  std::string metric_label;
 
   PassManagerOptions();
 };

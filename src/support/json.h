@@ -1,0 +1,71 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The observability stack emits JSON in several places (metrics snapshots,
+// Chrome traces, compile reports) with hand-rolled serializers; sf-stats and
+// the report round-trip tests need the other direction. JsonValue covers the
+// full grammar (objects, arrays, strings with escapes, numbers, bools,
+// null) with no dependencies; it is a reader for documents this codebase
+// (or its CI artifacts) produced, not a general streaming parser — documents
+// are parsed eagerly into one value tree.
+#ifndef SPACEFUSION_SRC_SUPPORT_JSON_H_
+#define SPACEFUSION_SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace spacefusion {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  // Parses one complete JSON document (trailing garbage is an error).
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; reading the wrong kind returns the zero value.
+  bool boolean() const { return kind_ == Kind::kBool && bool_; }
+  double number() const { return kind_ == Kind::kNumber ? number_ : 0.0; }
+  std::int64_t integer() const { return static_cast<std::int64_t>(number()); }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  // Object members in document order (JSON allows duplicate keys; the
+  // serializers here never emit them, and Get returns the first match).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+  // Convenience lookups with defaults, for flat report-style documents.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Escapes a string for embedding in a JSON document (quotes not included).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SUPPORT_JSON_H_

@@ -25,6 +25,8 @@
 #ifndef SPACEFUSION_SRC_TUNING_TUNER_H_
 #define SPACEFUSION_SRC_TUNING_TUNER_H_
 
+#include <cstdint>
+
 #include "src/schedule/pipeline.h"
 #include "src/sim/cost_model.h"
 
@@ -33,6 +35,7 @@ namespace spacefusion {
 class CostCache;
 
 struct TuningStats {
+  std::int64_t configs_enumerated = 0;  // search-space size before any cut
   int configs_screened = 0;  // configs scored by stage 1 (0 = screening inactive)
   int configs_tried = 0;     // configs that reached full-fidelity evaluation
   int configs_early_quit = 0;

@@ -6,10 +6,15 @@
 // so host-side parallelization can never silently change the paper numbers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/core/engine.h"
 #include "src/core/spacefusion.h"
+#include "src/obs/report.h"
 #include "src/schedule/lowering.h"
 #include "src/schedule/resource_aware.h"
 #include "src/sim/cost_cache.h"
@@ -267,6 +272,110 @@ TEST_F(DeterminismTest, EngineCompileIdenticalAcrossJobCountsAllModels) {
     EXPECT_EQ(model_fingerprint(*first), serial) << ModelKindName(kind);
     EXPECT_EQ(model_fingerprint(*cached), serial) << ModelKindName(kind);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Observability must be a pure observer: turning reporting on (a capturing
+// sink plus per-request labeled metrics) cannot change a single bit of the
+// compilation output, and the always-on instrumentation (report assembly,
+// flight recorder) must cost ~nothing when no sink is attached.
+
+class NullReportSink : public ReportSink {
+ public:
+  void Emit(const CompileReport& report) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++emitted_;
+    last_ = report;
+  }
+  int emitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return emitted_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int emitted_ = 0;
+  CompileReport last_;
+};
+
+TEST_F(DeterminismTest, SchedulesBitIdenticalWithReportingOnAndOff) {
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, /*batch=*/1, /*seq=*/128));
+
+  auto model_fingerprint = [](const CompiledModel& compiled) {
+    std::string out;
+    for (const CompiledSubprogram& sub : compiled.unique_subprograms) {
+      for (const SmgSchedule& kernel : sub.program.kernels) {
+        out += kernel.ToString();
+      }
+      char line[160];
+      std::snprintf(line, sizeof(line), "est=%.17g tune=%.17g tried=%d\n", sub.estimate.time_us,
+                    sub.tuning.simulated_tuning_seconds, sub.tuning.configs_tried);
+      out += line;
+    }
+    char total[128];
+    std::snprintf(total, sizeof(total), "total=%.17g tuning_s=%.17g", compiled.total.time_us,
+                  compiled.compile_time.tuning_s);
+    out += total;
+    return out;
+  };
+
+  ResetGlobalThreadPool(8);
+  CompilerEngine plain{CompileOptions(AmpereA100())};
+  StatusOr<CompiledModel> off = plain.CompileModel(model);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  NullReportSink sink;
+  EngineOptions reporting{CompileOptions(AmpereA100())};
+  reporting.report_sink = &sink;
+  reporting.label_metrics_by_request = true;
+  CompilerEngine observed{reporting};
+  StatusOr<CompiledModel> on = observed.CompileModel(model);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  EXPECT_GT(sink.emitted(), 0);  // reporting actually ran
+  EXPECT_EQ(model_fingerprint(*off), model_fingerprint(*on));
+  // The merged model report mirrors the result it rides on.
+  EXPECT_EQ(on->report.modeled_time_us, on->total.time_us);
+  EXPECT_EQ(on->report.outcome, "cold");
+}
+
+TEST_F(DeterminismTest, ReportingOverheadIsNegligible) {
+  // Median cold-compile wall time with default (sink-less) reporting vs a
+  // live sink + labeled metrics. Locally the delta is well under 1%; the
+  // bound is deliberately loose (2x on the median of 5) so scheduler noise
+  // on shared CI runners can never flake this test while a real O(compile)
+  // regression — e.g. rendering every report to JSON on the hot path —
+  // still trips it.
+  ResetGlobalThreadPool(4);
+  Graph g = BuildMha(4, 128, 128, 64);
+
+  auto median_compile_ms = [&](bool with_reporting) {
+    NullReportSink sink;
+    std::vector<double> samples;
+    for (int i = 0; i < 5; ++i) {
+      EngineOptions options{CompileOptions(AmpereA100())};
+      options.enable_program_cache = false;  // every iteration compiles cold
+      if (with_reporting) {
+        options.report_sink = &sink;
+        options.label_metrics_by_request = true;
+      }
+      CompilerEngine engine{options};
+      auto start = std::chrono::steady_clock::now();
+      StatusOr<CompiledSubprogram> compiled = engine.Compile(g);
+      EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+
+  double off_ms = median_compile_ms(false);
+  double on_ms = median_compile_ms(true);
+  EXPECT_GT(off_ms, 0.0);
+  EXPECT_LT(on_ms, off_ms * 2.0 + 1.0)
+      << "reporting on: " << on_ms << " ms vs off: " << off_ms << " ms";
 }
 
 }  // namespace

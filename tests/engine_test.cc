@@ -4,6 +4,8 @@
 // requests against one engine.
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "src/graph/models.h"
 #include "src/graph/subgraphs.h"
 #include "src/obs/metrics.h"
+#include "src/obs/report.h"
 
 namespace spacefusion {
 namespace {
@@ -306,6 +309,205 @@ TEST(EngineConcurrencyTest, ParallelCompileModelRequests) {
               results[0]->compile_time.tuning_s);
   }
   EXPECT_EQ(engine.program_cache_size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// CompileReports: every request — cold, cache hit, failed, collided — emits
+// one correctly attributed report to the engine's sink.
+
+class CapturingReportSink : public ReportSink {
+ public:
+  void Emit(const CompileReport& report) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(report);
+  }
+
+  std::vector<CompileReport> reports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reports_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CompileReport> reports_;
+};
+
+TEST(EngineReportTest, ColdThenCacheHitOutcomes) {
+  CapturingReportSink sink;
+  EngineOptions options{CompileOptions()};
+  options.report_sink = &sink;
+  CompilerEngine engine{options};
+
+  Graph g = BuildMha(4, 64, 64, 32);
+  StatusOr<CompiledSubprogram> cold = engine.Compile(g);
+  ASSERT_TRUE(cold.ok());
+  StatusOr<CompiledSubprogram> warm = engine.Compile(g);
+  ASSERT_TRUE(warm.ok());
+
+  std::vector<CompileReport> reports = sink.reports();
+  ASSERT_EQ(reports.size(), 2u);
+  const CompileReport& first = reports[0];
+  const CompileReport& second = reports[1];
+
+  EXPECT_EQ(first.outcome, "cold");
+  EXPECT_FALSE(first.request_id.empty());
+  EXPECT_EQ(first.graph_fingerprint, g.StructuralHash());
+  EXPECT_EQ(first.options_digest, CompileOptionsDigest(engine.options()));
+  EXPECT_FALSE(first.passes.empty());
+  EXPECT_GT(first.PassWallMs("Tune"), 0.0);
+  EXPECT_GT(first.wall_ms, 0.0);
+  EXPECT_GT(first.configs_enumerated, 0);
+  EXPECT_GT(first.configs_admitted, 0);
+  EXPECT_GT(first.tuning_seconds, 0.0);
+  EXPECT_GT(first.kernels, 0);
+  EXPECT_GT(first.modeled_time_us, 0.0);
+  EXPECT_FALSE(first.cache_collision);
+  EXPECT_TRUE(first.status_message.empty());
+  // The request id on the compiled program matches its report.
+  EXPECT_EQ(cold->request_id, first.request_id);
+
+  EXPECT_EQ(second.outcome, "cache_hit");
+  EXPECT_NE(second.request_id, first.request_id);
+  EXPECT_EQ(second.graph_fingerprint, first.graph_fingerprint);
+  // Cache hits run no passes but still summarize the served program.
+  EXPECT_TRUE(second.passes.empty());
+  EXPECT_EQ(second.modeled_time_us, first.modeled_time_us);
+  EXPECT_EQ(second.kernels, first.kernels);
+  EXPECT_EQ(warm->request_id, second.request_id);
+
+  // Reports round-trip through their JSON wire format.
+  StatusOr<CompileReport> parsed = CompileReport::FromJson(first.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().request_id, first.request_id);
+}
+
+TEST(EngineReportTest, FailedCompileEmitsErrorReportWithDiagnostics) {
+  // The SFV0103 idiom: a unary op whose output shape disagrees with its
+  // input fails the BuildSmg entry verifier.
+  Graph g("malformed");
+  TensorInfo in;
+  in.name = "x";
+  in.shape = Shape({8, 16});
+  in.kind = TensorKind::kInput;
+  TensorId x = g.AddTensor(std::move(in));
+  TensorInfo out;
+  out.name = "y";
+  out.shape = Shape({8, 8});
+  out.kind = TensorKind::kOutput;
+  TensorId y = g.AddTensor(std::move(out));
+  Op op;
+  op.kind = OpKind::kUnary;
+  op.inputs = {x};
+  op.output = y;
+  op.name = "op";
+  g.AddOp(std::move(op));
+
+  CapturingReportSink sink;
+  CompileOptions compile_options;
+  compile_options.verify = VerifyMode::kPhase;
+  EngineOptions options{compile_options};
+  options.report_sink = &sink;
+  CompilerEngine engine{options};
+
+  StatusOr<CompiledSubprogram> compiled = engine.Compile(g);
+  ASSERT_FALSE(compiled.ok());
+
+  std::vector<CompileReport> reports = sink.reports();
+  ASSERT_EQ(reports.size(), 1u);
+  const CompileReport& report = reports[0];
+  EXPECT_EQ(report.outcome, "error");
+  EXPECT_NE(report.status_message.find("SFV0103"), std::string::npos) << report.status_message;
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.diagnostics[0].code, "SFV0103");
+  EXPECT_EQ(report.diagnostics[0].severity, "error");
+  EXPECT_GE(report.verifier_errors, 1);
+  EXPECT_GT(report.wall_ms, 0.0);
+}
+
+TEST(EngineReportTest, CacheCollisionIsFlaggedOnTheCollidingRequest) {
+  CapturingReportSink sink;
+  EngineOptions options{CompileOptions()};
+  options.fingerprint_fn = [](const Graph&) { return 42ULL; };
+  options.report_sink = &sink;
+  CompilerEngine engine{options};
+
+  ASSERT_TRUE(engine.Compile(BuildMha(4, 64, 64, 32)).ok());
+  ASSERT_TRUE(engine.Compile(BuildMlp(2, 64, 64, 64)).ok());
+
+  std::vector<CompileReport> reports = sink.reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(reports[0].cache_collision);
+  EXPECT_TRUE(reports[1].cache_collision);
+  // The collision compiles fresh: still a cold outcome, not a hit.
+  EXPECT_EQ(reports[1].outcome, "cold");
+}
+
+// The ISSUE acceptance gate: N threads compiling distinct graphs through
+// one engine produce N reports, each attributed to the graph its thread
+// compiled (by fingerprint) under a unique request id.
+TEST(EngineReportTest, ConcurrentRequestsGetCorrectlyAttributedReports) {
+  CapturingReportSink sink;
+  EngineOptions options{CompileOptions()};
+  options.report_sink = &sink;
+  // Per-request labeled metrics stay attributable under concurrency.
+  options.label_metrics_by_request = true;
+  CompilerEngine engine{options};
+
+  constexpr int kThreads = 4;
+  std::vector<Graph> graphs;
+  for (int t = 0; t < kThreads; ++t) {
+    graphs.push_back(BuildMlp(2, 64 + 32 * t, 64, 64));  // structurally distinct
+  }
+
+  std::vector<std::string> request_ids(kThreads);
+  std::vector<Status> statuses(kThreads, Status::Ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      StatusOr<CompiledSubprogram> compiled = engine.Compile(graphs[static_cast<size_t>(t)]);
+      if (compiled.ok()) {
+        request_ids[static_cast<size_t>(t)] = compiled->request_id;
+      } else {
+        statuses[static_cast<size_t>(t)] = compiled.status();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  std::vector<CompileReport> reports = sink.reports();
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kThreads));
+  std::set<std::string> unique_ids;
+  for (const CompileReport& report : reports) {
+    unique_ids.insert(report.request_id);
+  }
+  EXPECT_EQ(unique_ids.size(), reports.size());
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(t)].ok())
+        << statuses[static_cast<size_t>(t)].ToString();
+    // The report carrying this thread's request id describes this thread's
+    // graph — attribution never crosses requests.
+    const CompileReport* mine = nullptr;
+    for (const CompileReport& report : reports) {
+      if (report.request_id == request_ids[static_cast<size_t>(t)]) {
+        mine = &report;
+      }
+    }
+    ASSERT_NE(mine, nullptr) << request_ids[static_cast<size_t>(t)];
+    EXPECT_EQ(mine->graph_fingerprint, graphs[static_cast<size_t>(t)].StructuralHash());
+    EXPECT_EQ(mine->outcome, "cold");
+    EXPECT_FALSE(mine->passes.empty());
+  }
+
+  // Each request's labeled cache-miss counter is its own time series.
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const std::string& id : request_ids) {
+    EXPECT_EQ(
+        snapshot.counter(LabeledMetricName("engine.cache.misses", "request_id", id)), 1)
+        << id;
+  }
 }
 
 }  // namespace

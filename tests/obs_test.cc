@@ -1,19 +1,28 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/engine.h"
 #include "src/core/spacefusion.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/stats.h"
 #include "src/obs/trace.h"
+#include "src/support/string_util.h"
 
 namespace spacefusion {
 namespace {
@@ -527,6 +536,464 @@ TEST(MetricsTest, MacrosRecordIntoGlobalRegistry) {
   EXPECT_EQ(snapshot.counter("obs_test.macro_counter"), before + 2);
   EXPECT_DOUBLE_EQ(snapshot.gauge("obs_test.macro_gauge"), 9.0);
   EXPECT_GE(snapshot.histograms.at("obs_test.macro_histogram").count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram histogram;
+  HistogramStats stats = histogram.stats();
+  EXPECT_DOUBLE_EQ(stats.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.p95(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0), 0.0);
+}
+
+TEST(MetricsTest, QuantileOfSingleSampleIsExact) {
+  Histogram histogram;
+  histogram.Observe(7.5);
+  HistogramStats stats = histogram.stats();
+  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(stats.p50(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.p99(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0), 7.5);
+}
+
+TEST(MetricsTest, QuantilesAreOrderedAndClampedToObservedRange) {
+  Histogram histogram;
+  for (double v : {1.0, 2.0, 3.0, 5.0, 10.0, 50.0, 200.0, 900.0}) {
+    histogram.Observe(v);
+  }
+  HistogramStats stats = histogram.stats();
+  EXPECT_LE(stats.p50(), stats.p95());
+  EXPECT_LE(stats.p95(), stats.p99());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    double value = stats.quantile(q);
+    EXPECT_GE(value, stats.min) << "q=" << q;
+    EXPECT_LE(value, stats.max) << "q=" << q;
+  }
+  // Out-of-range q is clamped, not undefined.
+  EXPECT_DOUBLE_EQ(stats.quantile(-1.0), stats.quantile(0.0));
+  EXPECT_DOUBLE_EQ(stats.quantile(2.0), stats.quantile(1.0));
+}
+
+TEST(MetricsTest, HistogramRejectsNonFiniteObservations) {
+  Histogram histogram;
+  histogram.Observe(std::numeric_limits<double>::quiet_NaN());
+  histogram.Observe(std::numeric_limits<double>::infinity());
+  histogram.Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.stats().count, 0);
+
+  histogram.Observe(2.0);
+  histogram.Observe(std::numeric_limits<double>::quiet_NaN());
+  HistogramStats stats = histogram.stats();
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.sum, 2.0);
+  EXPECT_FALSE(std::isnan(stats.p99()));
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exposition
+
+TEST(OpenMetricsTest, EmptySnapshotRendersJustTheTerminator) {
+  MetricsSnapshot empty;
+  EXPECT_EQ(RenderOpenMetrics(empty), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, CountersGaugesAndHistogramsRender) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["engine.cache.hits"] = 3;
+  snapshot.gauges["sim.l2_hit_rate"] = 0.5;
+  Histogram histogram;
+  histogram.Observe(2.0);
+  histogram.Observe(100.0);
+  snapshot.histograms["pass.Tune.ms"] = histogram.stats();
+
+  std::string text = RenderOpenMetrics(snapshot);
+  // Names sanitized to [a-zA-Z0-9_:]; counters gain the _total suffix.
+  EXPECT_NE(text.find("# TYPE engine_cache_hits counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine_cache_hits_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE sim_l2_hit_rate gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE pass_Tune_ms histogram"), std::string::npos) << text;
+  // Cumulative buckets with a final +Inf bound, plus _sum and _count.
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos) << text;
+  EXPECT_NE(text.find("pass_Tune_ms_sum"), std::string::npos) << text;
+  EXPECT_NE(text.find("pass_Tune_ms_count 2"), std::string::npos) << text;
+  // Document terminator is last.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, LabeledSeriesGroupUnderOneFamily) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["engine.cache.hits"] = 1;
+  snapshot.counters[LabeledMetricName("engine.cache.hits", "request_id", "req-000001")] = 2;
+  snapshot.counters[LabeledMetricName("engine.cache.hits", "request_id", "req-000002")] = 3;
+
+  std::string text = RenderOpenMetrics(snapshot);
+  // One # TYPE line for the family, three samples.
+  size_t first_type = text.find("# TYPE engine_cache_hits counter");
+  ASSERT_NE(first_type, std::string::npos) << text;
+  EXPECT_EQ(text.find("# TYPE engine_cache_hits counter", first_type + 1), std::string::npos);
+  EXPECT_NE(text.find("engine_cache_hits_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine_cache_hits_total{request_id=\"req-000001\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("engine_cache_hits_total{request_id=\"req-000002\"} 3"), std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, LabelValuesAreEscaped) {
+  std::string name = LabeledMetricName("m", "k", "quote\" backslash\\ newline\n");
+  EXPECT_NE(name.find("\\\""), std::string::npos);
+  EXPECT_NE(name.find("\\\\"), std::string::npos);
+  EXPECT_EQ(name.find('\n'), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotToTextListsEveryMetricOnce) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().GetCounter("obs_test.text_counter").Increment(4);
+  MetricsRegistry::Global().GetHistogram("obs_test.text_histogram").Observe(3.0);
+  std::string text = MetricsRegistry::Global().Snapshot().ToText();
+  EXPECT_NE(text.find("obs_test.text_counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs_test.text_histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99="), std::string::npos) << text;
+  MetricsRegistry::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorderTest, RecordsAndRendersEventsInOrder) {
+  FlightRecorder recorder(8);
+  recorder.Record("req-000001", "engine", "request start");
+  recorder.Record("req-000001", "pass", "BuildSmg done in 0.1ms");
+  recorder.Record("", "engine", "process event");
+
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[1].seq, 1);
+  EXPECT_EQ(events[0].request_id, "req-000001");
+  EXPECT_EQ(events[0].category, "engine");
+  EXPECT_EQ(events[1].message, "BuildSmg done in 0.1ms");
+  EXPECT_GE(events[1].elapsed_ms, events[0].elapsed_ms);
+  EXPECT_EQ(recorder.dropped(), 0);
+
+  std::string rendered = recorder.Render();
+  EXPECT_NE(rendered.find("3 event(s)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[req-000001] pass: BuildSmg done in 0.1ms"), std::string::npos)
+      << rendered;
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  constexpr size_t kCapacity = 4;
+  FlightRecorder recorder(kCapacity);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("req", "test", StrCat("event ", i));
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  EXPECT_EQ(recorder.dropped(), 10 - static_cast<std::int64_t>(kCapacity));
+  // Oldest-first, contiguous, ending at the newest event; seq never reused.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::int64_t>(6 + i));
+    EXPECT_EQ(events[i].message, StrCat("event ", 6 + i));
+  }
+  EXPECT_NE(recorder.Render().find("6 older event(s) overwritten"), std::string::npos)
+      << recorder.Render();
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsAllLandWithUniqueSeq) {
+  FlightRecorder recorder(1024);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.Record(StrCat("req-", t), "test", StrCat("event ", i));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kEvents));
+  std::set<std::int64_t> seqs;
+  for (const FlightEvent& e : events) {
+    seqs.insert(e.seq);
+  }
+  EXPECT_EQ(seqs.size(), events.size());
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST(FlightRecorderTest, DumpToFailureLogWritesUnderReportDir) {
+  std::string dir = testing::TempDir() + "/sf_flight_dump";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("SPACEFUSION_REPORT_DIR", dir.c_str(), /*overwrite=*/1), 0);
+
+  FlightRecorder recorder(8);
+  recorder.Record("req-000042", "engine", "request failed");
+  recorder.DumpToFailureLog("req-000042", "test-induced failure");
+  ASSERT_EQ(unsetenv("SPACEFUSION_REPORT_DIR"), 0);
+
+  std::ifstream in(dir + "/flight-req-000042.log");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("test-induced failure"), std::string::npos);
+  EXPECT_NE(buffer.str().find("request failed"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// CompileReport serialization
+
+CompileReport FullyPopulatedReport() {
+  CompileReport report;
+  report.request_id = "req-000007";
+  report.model = "Bert";
+  report.graph_fingerprint = 0xDEADBEEFCAFEF00DULL;  // exceeds int53: string round-trip
+  report.options_digest = 0xFFFFFFFFFFFFFFFFULL;
+  report.outcome = "cold";
+  report.status_message = "";
+  report.cache_collision = true;
+  report.wall_ms = 12.5;
+  report.passes = {{"BuildSmg", 1.25, 1.0}, {"Tune", 8.0, 31.5}};
+  report.configs_enumerated = 400;
+  report.configs_screened = 100;
+  report.configs_admitted = 25;
+  report.tuning_seconds = 1.75;
+  report.verifier_errors = 1;
+  report.verifier_warnings = 2;
+  report.diagnostics = {{"SFV0103", "error", "SFV0103 [error] graph(m): shape mismatch"}};
+  report.kernels = 3;
+  report.smem_bytes = 49152;
+  report.reg_bytes = 65536;
+  report.modeled_time_us = 321.5;
+  return report;
+}
+
+TEST(CompileReportTest, JsonRoundTripPreservesEveryField) {
+  CompileReport report = FullyPopulatedReport();
+  std::string json = report.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+
+  StatusOr<CompileReport> restored = CompileReport::FromJson(json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const CompileReport& r = restored.value();
+  EXPECT_EQ(r.request_id, report.request_id);
+  EXPECT_EQ(r.model, report.model);
+  EXPECT_EQ(r.graph_fingerprint, report.graph_fingerprint);
+  EXPECT_EQ(r.options_digest, report.options_digest);
+  EXPECT_EQ(r.outcome, report.outcome);
+  EXPECT_EQ(r.status_message, report.status_message);
+  EXPECT_EQ(r.cache_collision, report.cache_collision);
+  EXPECT_DOUBLE_EQ(r.wall_ms, report.wall_ms);
+  ASSERT_EQ(r.passes.size(), report.passes.size());
+  for (size_t i = 0; i < r.passes.size(); ++i) {
+    EXPECT_EQ(r.passes[i].pass, report.passes[i].pass);
+    EXPECT_DOUBLE_EQ(r.passes[i].wall_ms, report.passes[i].wall_ms);
+    EXPECT_DOUBLE_EQ(r.passes[i].cpu_ms, report.passes[i].cpu_ms);
+  }
+  EXPECT_EQ(r.configs_enumerated, report.configs_enumerated);
+  EXPECT_EQ(r.configs_screened, report.configs_screened);
+  EXPECT_EQ(r.configs_admitted, report.configs_admitted);
+  EXPECT_DOUBLE_EQ(r.tuning_seconds, report.tuning_seconds);
+  EXPECT_EQ(r.verifier_errors, report.verifier_errors);
+  EXPECT_EQ(r.verifier_warnings, report.verifier_warnings);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].code, "SFV0103");
+  EXPECT_EQ(r.diagnostics[0].severity, "error");
+  EXPECT_EQ(r.diagnostics[0].message, report.diagnostics[0].message);
+  EXPECT_EQ(r.kernels, report.kernels);
+  EXPECT_EQ(r.smem_bytes, report.smem_bytes);
+  EXPECT_EQ(r.reg_bytes, report.reg_bytes);
+  EXPECT_DOUBLE_EQ(r.modeled_time_us, report.modeled_time_us);
+  EXPECT_DOUBLE_EQ(r.PassWallMs("Tune"), 8.0);
+  EXPECT_DOUBLE_EQ(r.PassWallMs("NoSuchPass"), 0.0);
+}
+
+TEST(CompileReportTest, FromJsonRejectsNewerSchemaAndGarbage) {
+  std::string json = FullyPopulatedReport().ToJson();
+  std::string newer = json;
+  size_t pos = newer.find("\"schema_version\":1");
+  ASSERT_NE(pos, std::string::npos) << json;
+  newer.replace(pos, std::string("\"schema_version\":1").size(), "\"schema_version\":999");
+  EXPECT_FALSE(CompileReport::FromJson(newer).ok());
+  EXPECT_FALSE(CompileReport::FromJson("not json at all").ok());
+  EXPECT_FALSE(CompileReport::FromJson("[1,2,3]").ok());
+}
+
+TEST(CompileReportTest, DirectoryReportSinkWritesOneFilePerReport) {
+  std::string dir = testing::TempDir() + "/sf_report_sink";
+  std::filesystem::remove_all(dir);
+  DirectoryReportSink sink(dir);
+  CompileReport report = FullyPopulatedReport();
+  sink.Emit(report);
+
+  std::ifstream in(dir + "/req-000007.report.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<CompileReport> restored = CompileReport::FromJson(buffer.str());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().graph_fingerprint, report.graph_fingerprint);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// sf-stats aggregation and regression diffing
+
+TEST(StatsTest, WallClockKeyDetection) {
+  EXPECT_TRUE(IsWallClockKey("bert/req-000001/wall/compile_ms"));
+  EXPECT_TRUE(IsWallClockKey("wall/total_ms"));
+  EXPECT_TRUE(IsWallClockKey("bert/wall/pass/Tune"));
+  EXPECT_FALSE(IsWallClockKey("bert/modeled_compile_s"));
+  EXPECT_FALSE(IsWallClockKey("bert/wallpaper_count"));  // component match, not substring
+  EXPECT_FALSE(IsWallClockKey(""));
+}
+
+std::string WriteTempReport(const std::string& name, const CompileReport& report) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << report.ToJson() << "\n";
+  return path;
+}
+
+TEST(StatsTest, DiffFlagsInjectedModeledRegressionAndIgnoresWall) {
+  CompileReport base = FullyPopulatedReport();
+  base.outcome = "cold";
+  base.tuning_seconds = 1.0;
+  base.wall_ms = 10.0;
+
+  CompileReport current = base;
+  current.tuning_seconds = 1.5;  // +50%: well past the 10% threshold
+  current.wall_ms = 500.0;       // wall regression must NOT trip the default diff
+
+  std::string base_path = WriteTempReport("sf_stats_base.report.json", base);
+  std::string current_path = WriteTempReport("sf_stats_current.report.json", current);
+  StatusOr<RunStats> base_run = LoadRunStats(base_path);
+  StatusOr<RunStats> current_run = LoadRunStats(current_path);
+  ASSERT_TRUE(base_run.ok()) << base_run.status().ToString();
+  ASSERT_TRUE(current_run.ok()) << current_run.status().ToString();
+  EXPECT_EQ(base_run.value().format, "report");
+
+  DiffOptions options;
+  DiffResult diff = DiffRuns(base_run.value(), current_run.value(), options);
+  ASSERT_EQ(diff.regressions, 1) << RenderDiff(diff, options);
+  bool found = false;
+  for (const DiffEntry& entry : diff.entries) {
+    if (entry.regression) {
+      found = true;
+      EXPECT_NE(entry.key.find("tuning_seconds"), std::string::npos) << entry.key;
+      EXPECT_NEAR(entry.delta_pct, 50.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(RenderDiff(diff, options).find("REGRESSION"), std::string::npos);
+
+  // Opting into wall keys surfaces the wall regression too.
+  options.include_wall = true;
+  DiffResult with_wall = DiffRuns(base_run.value(), current_run.value(), options);
+  EXPECT_GT(with_wall.regressions, diff.regressions);
+
+  // Identical runs never regress, at any threshold.
+  DiffResult self = DiffRuns(base_run.value(), base_run.value(), DiffOptions());
+  EXPECT_EQ(self.regressions, 0);
+
+  std::remove(base_path.c_str());
+  std::remove(current_path.c_str());
+}
+
+TEST(StatsTest, ReportDirLoadsEveryReportAndSummarizes) {
+  std::string dir = testing::TempDir() + "/sf_stats_dir";
+  std::filesystem::remove_all(dir);
+  DirectoryReportSink sink(dir);
+
+  CompileReport cold = FullyPopulatedReport();
+  CompileReport hit = FullyPopulatedReport();
+  hit.request_id = "req-000008";
+  hit.outcome = "cache_hit";
+  CompileReport failed = FullyPopulatedReport();
+  failed.request_id = "req-000009";
+  failed.outcome = "error";
+  failed.status_message = "invalid argument: SFV0103 ...";
+  sink.Emit(cold);
+  sink.Emit(hit);
+  sink.Emit(failed);
+
+  StatusOr<RunStats> run = LoadRunStats(dir);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().format, "report_dir");
+  EXPECT_EQ(run.value().reports.size(), 3u);
+  EXPECT_FALSE(run.value().series.empty());
+
+  std::string summary = RenderSummary(run.value(), /*top_n=*/3);
+  EXPECT_NE(summary.find("1 cold"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 cache hit(s)"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 error(s)"), std::string::npos) << summary;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StatsTest, LoadRejectsMissingPath) {
+  EXPECT_FALSE(LoadRunStats(testing::TempDir() + "/sf_stats_does_not_exist.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Obs state guards: Reset / TraceSession vs concurrent compiles
+
+// MetricsRegistry::Reset and TraceSession start/stop take the exclusive side
+// of the obs state lock; engine requests hold the shared side. Churning all
+// three from different threads must be data-race free (the TSan CI job runs
+// this test) and must never crash or deadlock.
+TEST(ObsGuardTest, ResetAndTraceSessionsDuringConcurrentCompiles) {
+  CompilerEngine engine{CompileOptions()};
+  std::atomic<bool> stop{false};
+  std::atomic<int> compiles_done{0};
+
+  std::vector<std::thread> compilers;
+  for (int t = 0; t < 2; ++t) {
+    compilers.emplace_back([&engine, &compiles_done, t] {
+      for (int i = 0; i < 3; ++i) {
+        // Distinct shapes per iteration defeat the program cache so every
+        // request runs the full pipeline under the shared lock.
+        Graph g = BuildMlp(2, 64 + 16 * t + 16 * i, 64, 64);
+        StatusOr<CompiledSubprogram> compiled = engine.Compile(g);
+        EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+        compiles_done.fetch_add(1);
+      }
+    });
+  }
+  std::thread resetter([&stop] {
+    while (!stop.load()) {
+      MetricsRegistry::Global().Reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread tracer([&stop] {
+    while (!stop.load()) {
+      TraceSession session;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      EXPECT_TRUE(session.Stop().ok());
+    }
+  });
+
+  for (std::thread& t : compilers) {
+    t.join();
+  }
+  stop.store(true);
+  resetter.join();
+  tracer.join();
+  EXPECT_EQ(compiles_done.load(), 6);
+  MetricsRegistry::Global().Reset();
 }
 
 // ---------------------------------------------------------------------------

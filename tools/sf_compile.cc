@@ -9,6 +9,9 @@
 //   sf-compile --model all --json COMPILE_times.json
 //   sf-compile --model bert --arch H100 --dump-after-pass SlicingPipeline
 //   sf-compile --model all --shared-cache   # cross-model program-cache reuse
+//   sf-compile --model bert --metrics       # final MetricsSnapshot as text
+//   sf-compile --model bert --openmetrics   # Prometheus text exposition
+//   sf-compile --model all --report-dir reports/   # per-request CompileReports
 //   sf-compile --list
 #include <cctype>
 #include <chrono>
@@ -39,7 +42,8 @@ int Usage() {
   std::cerr
       << "usage: sf-compile [--model NAME|all] [--batch N] [--seq N] [--arch NAME]\n"
          "                  [--mode off|phase|full] [--dump-after-pass PASS[,PASS...]|all]\n"
-         "                  [--shared-cache] [--json PATH] [--list]\n"
+         "                  [--shared-cache] [--json PATH] [--report-dir DIR]\n"
+         "                  [--metrics] [--metrics-json] [--openmetrics] [--list]\n"
          "\n"
          "  --model           built-in model to compile (default: all)\n"
          "  --batch           batch size (default: 1)\n"
@@ -49,6 +53,11 @@ int Usage() {
          "  --dump-after-pass dump compilation artifacts after these passes (stderr)\n"
          "  --shared-cache    serve all models from one engine (cross-model program cache)\n"
          "  --json            write per-model timing/metrics JSON to PATH\n"
+         "  --report-dir      write one CompileReport JSON per engine request to DIR\n"
+         "                    (same as setting SPACEFUSION_REPORT_DIR)\n"
+         "  --metrics         print the final MetricsSnapshot as text to stdout\n"
+         "  --metrics-json    print the final MetricsSnapshot as JSON to stdout\n"
+         "  --openmetrics     print the final snapshot as OpenMetrics exposition\n"
          "  --list            print the built-in model and architecture names and exit\n";
   return 2;
 }
@@ -90,21 +99,33 @@ std::string ModelJson(const ModelResult& r, const CompilerEngine& engine) {
     tried += sub.tuning.configs_tried;
   }
   CompilerEngine::CacheStats cache = engine.cache_stats();
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
-                "{\"model\":\"%s\",\"status\":\"OK\",\"wall_ms\":%.3f,"
+                "{\"model\":\"%s\",\"status\":\"OK\",\"request_id\":\"%s\",\"wall_ms\":%.3f,"
                 "\"unique_subprograms\":%d,\"cache_hits\":%d,"
                 "\"compile\":{\"slicing_ms\":%.3f,\"enum_cfg_ms\":%.3f,"
                 "\"tuning_s\":%.6f,\"total_s\":%.6f},"
                 "\"estimate_us\":%.3f,"
                 "\"configs_screened\":%lld,\"configs_tried\":%lld,"
-                "\"engine_cache\":{\"hits\":%lld,\"misses\":%lld,\"collisions\":%lld}}",
-                r.model.c_str(), r.wall_ms, static_cast<int>(m.unique_subprograms.size()),
-                m.cache_hits, m.compile_time.slicing_ms, m.compile_time.enum_cfg_ms,
-                m.compile_time.tuning_s, m.compile_time.total_s(), m.total.time_us, screened,
-                tried, static_cast<long long>(cache.hits), static_cast<long long>(cache.misses),
+                "\"engine_cache\":{\"hits\":%lld,\"misses\":%lld,\"collisions\":%lld}",
+                r.model.c_str(), m.report.request_id.c_str(), r.wall_ms,
+                static_cast<int>(m.unique_subprograms.size()), m.cache_hits,
+                m.compile_time.slicing_ms, m.compile_time.enum_cfg_ms, m.compile_time.tuning_s,
+                m.compile_time.total_s(), m.total.time_us, screened, tried,
+                static_cast<long long>(cache.hits), static_cast<long long>(cache.misses),
                 static_cast<long long>(cache.collisions));
-  return buf;
+  // Per-pass wall breakdown from the merged CompileReport, so sf-stats can
+  // reproduce and diff it per model.
+  std::string json = buf;
+  json += ",\"passes\":{";
+  for (size_t i = 0; i < m.report.passes.size(); ++i) {
+    char pass_buf[128];
+    std::snprintf(pass_buf, sizeof(pass_buf), "%s\"%s\":%.3f", i > 0 ? "," : "",
+                  m.report.passes[i].pass.c_str(), m.report.passes[i].wall_ms);
+    json += pass_buf;
+  }
+  json += "}}";
+  return json;
 }
 
 int Run(int argc, char** argv) {
@@ -115,6 +136,9 @@ int Run(int argc, char** argv) {
   VerifyMode mode = VerifyModeFromEnv(VerifyMode::kPhase);
   std::string json_path;
   bool shared_cache = false;
+  bool print_metrics = false;
+  bool print_metrics_json = false;
+  bool print_openmetrics = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -129,6 +153,18 @@ int Run(int argc, char** argv) {
     }
     if (flag == "--shared-cache") {
       shared_cache = true;
+      continue;
+    }
+    if (flag == "--metrics") {
+      print_metrics = true;
+      continue;
+    }
+    if (flag == "--metrics-json") {
+      print_metrics_json = true;
+      continue;
+    }
+    if (flag == "--openmetrics") {
+      print_openmetrics = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -161,6 +197,10 @@ int Run(int argc, char** argv) {
       setenv("SPACEFUSION_DUMP_AFTER_PASS", value.c_str(), /*overwrite=*/1);
     } else if (flag == "--json") {
       json_path = value;
+    } else if (flag == "--report-dir") {
+      // EnvReportSink reads the variable lazily at the first emit, so the
+      // flag is just a setenv, like --dump-after-pass.
+      setenv("SPACEFUSION_REPORT_DIR", value.c_str(), /*overwrite=*/1);
     } else {
       return Usage();
     }
@@ -234,6 +274,19 @@ int Run(int argc, char** argv) {
         static_cast<long long>(cache.misses), static_cast<long long>(cache.collisions));
   }
   json += StrCat("],\n\"metrics\":", MetricsRegistry::Global().Snapshot().ToJson(), "}\n");
+
+  if (print_metrics || print_metrics_json || print_openmetrics) {
+    MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    if (print_metrics) {
+      std::cout << snapshot.ToText();
+    }
+    if (print_metrics_json) {
+      std::cout << snapshot.ToJson() << "\n";
+    }
+    if (print_openmetrics) {
+      std::cout << RenderOpenMetrics(snapshot);
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

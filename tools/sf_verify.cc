@@ -35,14 +35,17 @@ std::string ToLower(std::string s) {
 
 int Usage() {
   std::cerr << "usage: sf-verify [--model NAME|all] [--batch N] [--seq N]\n"
-               "                 [--mode off|phase|full] [--json PATH] [--list]\n"
+               "                 [--mode off|phase|full] [--json PATH]\n"
+               "                 [--metrics] [--metrics-json] [--list]\n"
                "\n"
-               "  --model   built-in model to verify (default: all)\n"
-               "  --batch   batch size (default: 1)\n"
-               "  --seq     sequence length / image side for ViT (default: 128)\n"
-               "  --mode    verification level (default: SPACEFUSION_VERIFY, else full)\n"
-               "  --json    write the diagnostic report to PATH as JSON\n"
-               "  --list    print the built-in model names and exit\n";
+               "  --model        built-in model to verify (default: all)\n"
+               "  --batch        batch size (default: 1)\n"
+               "  --seq          sequence length / image side for ViT (default: 128)\n"
+               "  --mode         verification level (default: SPACEFUSION_VERIFY, else full)\n"
+               "  --json         write the diagnostic report to PATH as JSON\n"
+               "  --metrics      print the final MetricsSnapshot as text to stdout\n"
+               "  --metrics-json print the final MetricsSnapshot as JSON to stdout\n"
+               "  --list         print the built-in model names and exit\n";
   return 2;
 }
 
@@ -117,6 +120,8 @@ int Run(int argc, char** argv) {
   std::int64_t seq = 128;
   VerifyMode mode = VerifyModeFromEnv(VerifyMode::kFull);
   std::string json_path;
+  bool print_metrics = false;
+  bool print_metrics_json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -125,6 +130,14 @@ int Run(int argc, char** argv) {
         std::cout << ModelKindName(kind) << "\n";
       }
       return 0;
+    }
+    if (flag == "--metrics") {
+      print_metrics = true;
+      continue;
+    }
+    if (flag == "--metrics-json") {
+      print_metrics_json = true;
+      continue;
     }
     if (i + 1 >= argc) {
       return Usage();
@@ -189,6 +202,16 @@ int Run(int argc, char** argv) {
     }
   }
   json += "]";
+
+  if (print_metrics || print_metrics_json) {
+    MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    if (print_metrics) {
+      std::cout << snapshot.ToText();
+    }
+    if (print_metrics_json) {
+      std::cout << snapshot.ToJson() << "\n";
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
