@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/support/logging.h"
 #include "src/support/string_util.h"
 
 namespace spacefusion {
@@ -128,8 +130,16 @@ std::uint64_t CompileOptionsDigest(const CompileOptions& options) {
   return h;
 }
 
+std::string CacheDirFromEnv() {
+  const char* dir = std::getenv("SPACEFUSION_CACHE_DIR");
+  return dir != nullptr ? dir : "";
+}
+
 CompilerEngine::CompilerEngine(EngineOptions options) : options_(std::move(options)) {
   default_digest_ = CompileOptionsDigest(options_.compile);
+  if (options_.enable_program_cache && !options_.cache_dir.empty()) {
+    persistent_ = std::make_unique<PersistentProgramCache>(options_.cache_dir);
+  }
 }
 
 CompilerEngine::CompilerEngine(CompileOptions options)
@@ -262,6 +272,68 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
       FlightRecorder::Global().DumpToFailureLog(report->request_id,
                                                 "program-cache fingerprint collision");
     }
+    if (persistent_ != nullptr) {
+      CompiledSubprogram from_disk;
+      std::string detail;
+      const PersistentProgramCache::LoadResult loaded = persistent_->Load(
+          fingerprint, digest, options.arch.name, canonical, &from_disk, &detail);
+      switch (loaded) {
+        case PersistentProgramCache::LoadResult::kHit: {
+          {
+            std::lock_guard<std::mutex> lock(cache_mu_);
+            ++stats_.persistent_hits;
+            std::vector<CacheEntry>& bucket = cache_[key];
+            bool present = false;
+            for (const CacheEntry& entry : bucket) {
+              if (entry.digest == digest && entry.canonical == canonical) {
+                present = true;
+                break;
+              }
+            }
+            if (!present) {
+              bucket.push_back(CacheEntry{digest, canonical, from_disk});
+            }
+          }
+          SF_COUNTER_ADD("engine.cache.persistent_hits", 1);
+          if (options_.label_metrics_by_request) {
+            AddLabeledCounter("engine.cache.persistent_hits", report->request_id);
+          }
+          from_disk.request_id = report->request_id;
+          FillResultSummary(from_disk, report);
+          report->outcome = "persistent_hit";
+          report->wall_ms = MsSince(request_start);
+          FlightRecorder::Global().Record(report->request_id, "engine",
+                                          "request warmed from persistent cache");
+          EmitReport(*report);
+          return from_disk;
+        }
+        case PersistentProgramCache::LoadResult::kStale: {
+          // Options or code drifted since the entry was written: by design a
+          // silent cold fallback, never an error surfaced to the caller.
+          {
+            std::lock_guard<std::mutex> lock(cache_mu_);
+            ++stats_.persistent_stale;
+          }
+          SF_COUNTER_ADD("engine.cache.persistent_stale", 1);
+          FlightRecorder::Global().Record(report->request_id, "engine",
+                                          StrCat("persistent cache entry stale: ", detail));
+          break;
+        }
+        case PersistentProgramCache::LoadResult::kCorrupt: {
+          {
+            std::lock_guard<std::mutex> lock(cache_mu_);
+            ++stats_.persistent_corrupt;
+          }
+          SF_COUNTER_ADD("engine.cache.persistent_corrupt", 1);
+          SF_LOG(Warning) << "persistent cache entry corrupt, recompiling cold: " << detail;
+          FlightRecorder::Global().Record(report->request_id, "engine",
+                                          StrCat("persistent cache entry corrupt: ", detail));
+          break;
+        }
+        case PersistentProgramCache::LoadResult::kMiss:
+          break;
+      }
+    }
   } else {
     std::lock_guard<std::mutex> lock(cache_mu_);
     ++stats_.misses;
@@ -287,6 +359,16 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
   FillResultSummary(result, report);
   report->outcome = "cold";
 
+  if (persistent_ != nullptr) {
+    // Best effort: a full disk or unwritable directory costs persistence,
+    // never the compile result.
+    Status stored = persistent_->Store(fingerprint, digest, options.arch.name, canonical, result);
+    if (stored.ok()) {
+      SF_COUNTER_ADD("engine.cache.persistent_stores", 1);
+    } else {
+      SF_LOG(Warning) << "persistent cache store failed: " << stored.ToString();
+    }
+  }
   if (options_.enable_program_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     std::vector<CacheEntry>& bucket = cache_[key];
@@ -377,6 +459,7 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
       &options == &options_.compile ? default_digest_ : CompileOptionsDigest(options);
   std::uint64_t model_fingerprint = 1469598103934665603ULL;
   bool any_cold = false;
+  bool any_persistent = false;
   // Intra-request dedup: repeated subprograms of *this* model compile once
   // and count into CompiledModel::cache_hits (the paper's statistic).
   // Cross-request reuse happens inside CompileWithReport via the program
@@ -396,6 +479,7 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
       // Fold the per-request report into the model-level one: passes summed
       // by name, funnel counters added, memory maxima kept.
       any_cold = any_cold || sub_report.outcome == "cold";
+      any_persistent = any_persistent || sub_report.outcome == "persistent_hit";
       out.report.cache_collision = out.report.cache_collision || sub_report.cache_collision;
       for (const PassReportEntry& pass : sub_report.passes) {
         bool merged = false;
@@ -430,7 +514,11 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
     out.total += out.unique_subprograms[it->second].estimate.Scaled(sub.repeat);
   }
   out.report.graph_fingerprint = model_fingerprint;
-  out.report.outcome = any_cold || out.unique_subprograms.empty() ? "cold" : "cache_hit";
+  // Priority encodes "how much work ran": any cold compile marks the model
+  // cold; a fully warm model distinguishes disk-warmed from memory-served.
+  out.report.outcome = any_cold || out.unique_subprograms.empty() ? "cold"
+                       : any_persistent                           ? "persistent_hit"
+                                                                  : "cache_hit";
   out.report.modeled_time_us = out.total.time_us;
   out.report.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - model_start)

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/compiler.h"
+#include "src/core/program_store.h"
 #include "src/obs/report.h"
 #include "src/pass/pass.h"
 #include "src/sim/cost_cache.h"
@@ -37,11 +38,22 @@ namespace spacefusion {
 // for identical graphs.
 std::uint64_t CompileOptionsDigest(const CompileOptions& options);
 
+// The SPACEFUSION_CACHE_DIR environment variable, read fresh on every call
+// ("" when unset) so tests and daemons can repoint it between engines.
+std::string CacheDirFromEnv();
+
 struct EngineOptions {
   // Default options for Compile/CompileModel calls without per-request ones.
   CompileOptions compile;
   // Cross-model structural program cache (engine.cache.* metrics).
   bool enable_program_cache = true;
+  // Directory of the persistent program cache; defaults to
+  // SPACEFUSION_CACHE_DIR (empty = in-memory cache only). Requires
+  // enable_program_cache. Cold compiles are stored as checksummed blobs and
+  // a later engine — typically a restarted daemon — serves them as
+  // "persistent_hit" without re-tuning; stale or corrupt entries silently
+  // fall back to a cold compile (engine.cache.persistent_* metrics).
+  std::string cache_dir = CacheDirFromEnv();
   // Graph fingerprint for the program-cache key. Defaults to
   // Graph::StructuralHash; tests override it to force collisions onto the
   // canonical-form comparison path.
@@ -67,6 +79,10 @@ class CompilerEngine {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t collisions = 0;  // fingerprint hit, canonical-form mismatch
+    // Persistent-cache traffic (zero unless a cache_dir is configured).
+    std::int64_t persistent_hits = 0;     // served from disk, no compile ran
+    std::int64_t persistent_stale = 0;    // entry decoded but keys mismatched
+    std::int64_t persistent_corrupt = 0;  // entry failed checksum/validation
   };
 
   explicit CompilerEngine(EngineOptions options);
@@ -124,6 +140,8 @@ class CompilerEngine {
 
   EngineOptions options_;
   std::uint64_t default_digest_ = 0;
+  // Null unless options_.cache_dir names a directory.
+  std::unique_ptr<PersistentProgramCache> persistent_;
 
   mutable std::mutex cache_mu_;
   std::map<std::uint64_t, std::vector<CacheEntry>> cache_;

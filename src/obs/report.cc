@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <mutex>
 
+#include "src/support/file_util.h"
 #include "src/support/json.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
@@ -155,17 +156,11 @@ void DirectoryReportSink::Emit(const CompileReport& report) {
     name = "unnamed";
   }
   std::string path = StrCat(dir_, "/", name, ".report.json");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    SF_LOG(Warning) << "cannot write compile report " << path;
-    return;
-  }
-  std::string json = report.ToJson();
-  size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  written += std::fwrite("\n", 1, 1, f);
-  int rc = std::fclose(f);
-  if (written != json.size() + 1 || rc != 0) {
-    SF_LOG(Warning) << "short write to compile report " << path;
+  // Atomic write-then-rename: an interrupted writer must not leave a torso
+  // where sf-stats or a report differ would read it.
+  Status written = AtomicWriteFile(path, report.ToJson() + "\n");
+  if (!written.ok()) {
+    SF_LOG(Warning) << "cannot write compile report " << path << ": " << written.ToString();
   }
 }
 

@@ -1,0 +1,539 @@
+#include "src/schedule/serialize.h"
+
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Enum fields travel as one byte; readers must range-check before the
+// static_cast because a corrupted byte would otherwise become an
+// out-of-range enum value (UB, and switch-based consumers would misbehave).
+template <typename E>
+Status ReadEnum(ByteReader* r, E* out, std::uint8_t num_values, const char* what) {
+  std::uint8_t v = 0;
+  SF_RETURN_IF_ERROR(r->U8(&v));
+  if (v >= num_values) {
+    return DataLoss(StrCat("invalid ", what, " value ", static_cast<int>(v)));
+  }
+  *out = static_cast<E>(v);
+  return Status::Ok();
+}
+
+template <typename E>
+void WriteEnum(ByteWriter* w, E v) {
+  w->U8(static_cast<std::uint8_t>(v));
+}
+
+Status CheckIndex(std::int64_t value, std::int64_t limit, const char* what) {
+  if (value < 0 || value >= limit) {
+    return DataLoss(StrCat("invalid ", what, " index ", value, " (limit ", limit, ")"));
+  }
+  return Status::Ok();
+}
+
+// kNoDim / kInvalidTensor style fields: -1 is legal, anything else must be a
+// valid index.
+Status CheckIndexOrNone(std::int64_t value, std::int64_t limit, const char* what) {
+  if (value == -1) {
+    return Status::Ok();
+  }
+  return CheckIndex(value, limit, what);
+}
+
+}  // namespace
+
+// --- Graph ------------------------------------------------------------------
+
+void SerializeGraph(const Graph& graph, ByteWriter* w) {
+  w->Str(graph.name());
+  w->U64(graph.tensors().size());
+  for (const TensorInfo& t : graph.tensors()) {
+    w->Str(t.name);
+    w->I64Vec(t.shape.dims());
+    WriteEnum(w, t.dtype);
+    WriteEnum(w, t.kind);
+    w->F32(t.constant_value);
+  }
+  w->U64(graph.ops().size());
+  for (const Op& op : graph.ops()) {
+    w->Str(op.name);
+    WriteEnum(w, op.kind);
+    WriteEnum(w, op.attrs.unary);
+    WriteEnum(w, op.attrs.binary);
+    WriteEnum(w, op.attrs.reduce);
+    w->Bool(op.attrs.transpose_a);
+    w->Bool(op.attrs.transpose_b);
+    w->I32Vec(op.inputs);
+    w->I32(op.output);
+  }
+}
+
+Status DeserializeGraph(ByteReader* r, Graph* graph) {
+  std::string name;
+  SF_RETURN_IF_ERROR(r->Str(&name));
+  Graph out(std::move(name));
+
+  std::uint64_t num_tensors = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_tensors, 1));
+  for (std::uint64_t i = 0; i < num_tensors; ++i) {
+    TensorInfo t;
+    SF_RETURN_IF_ERROR(r->Str(&t.name));
+    std::vector<std::int64_t> dims;
+    SF_RETURN_IF_ERROR(r->I64Vec(&dims));
+    for (std::int64_t d : dims) {
+      if (d < 0) {
+        return DataLoss(StrCat("negative tensor extent ", d));
+      }
+    }
+    t.shape = Shape(std::move(dims));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &t.dtype, 3, "dtype"));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &t.kind, 5, "tensor kind"));
+    SF_RETURN_IF_ERROR(r->F32(&t.constant_value));
+    out.AddTensor(std::move(t));
+  }
+
+  std::uint64_t num_ops = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_ops, 1));
+  const std::int64_t tensor_limit = static_cast<std::int64_t>(num_tensors);
+  std::vector<bool> produced(num_tensors, false);
+  for (std::uint64_t i = 0; i < num_ops; ++i) {
+    Op op;
+    SF_RETURN_IF_ERROR(r->Str(&op.name));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &op.kind, 4, "op kind"));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &op.attrs.unary, 10, "unary kind"));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &op.attrs.binary, 5, "binary kind"));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &op.attrs.reduce, 3, "reduce kind"));
+    SF_RETURN_IF_ERROR(r->Bool(&op.attrs.transpose_a));
+    SF_RETURN_IF_ERROR(r->Bool(&op.attrs.transpose_b));
+    SF_RETURN_IF_ERROR(r->I32Vec(&op.inputs));
+    for (TensorId in : op.inputs) {
+      SF_RETURN_IF_ERROR(CheckIndex(in, tensor_limit, "op input tensor"));
+    }
+    SF_RETURN_IF_ERROR(r->I32(&op.output));
+    SF_RETURN_IF_ERROR(CheckIndex(op.output, tensor_limit, "op output tensor"));
+    if (produced[static_cast<size_t>(op.output)]) {
+      return DataLoss(StrCat("tensor ", op.output, " produced twice"));
+    }
+    produced[static_cast<size_t>(op.output)] = true;
+    out.AddOp(std::move(op));
+  }
+  // Catches everything index checks cannot: non-topological op order and
+  // shapes inconsistent with op semantics.
+  Status valid = out.Validate();
+  if (!valid.ok()) {
+    return DataLoss(StrCat("deserialized graph fails validation: ", valid.message()));
+  }
+  *graph = std::move(out);
+  return Status::Ok();
+}
+
+// --- Smg --------------------------------------------------------------------
+
+void SerializeSmg(const Smg& smg, ByteWriter* w) {
+  w->Str(smg.name());
+  w->U64(smg.dims().size());
+  for (const FusedDim& d : smg.dims()) {
+    w->Str(d.name);
+    w->I64(d.extent);
+  }
+  w->U64(smg.spaces().size());
+  for (const Space& s : smg.spaces()) {
+    w->Str(s.name);
+    WriteEnum(w, s.kind);
+    WriteEnum(w, s.role);
+    w->I32Vec(s.dims);
+    w->I32(s.tensor);
+    w->I32(s.op);
+    w->I64(s.elem_bytes);
+  }
+  w->U64(smg.mappings().size());
+  for (const Mapping& m : smg.mappings()) {
+    w->I32(m.src);
+    w->I32(m.dst);
+    WriteEnum(w, m.kind);
+    w->I32(m.dim);
+    WriteEnum(w, m.reduce);
+    w->I32(m.op);
+  }
+}
+
+Status DeserializeSmg(ByteReader* r, Smg* smg) {
+  std::string name;
+  SF_RETURN_IF_ERROR(r->Str(&name));
+  Smg out(std::move(name));
+
+  std::uint64_t num_dims = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_dims, 1));
+  for (std::uint64_t i = 0; i < num_dims; ++i) {
+    std::string dim_name;
+    std::int64_t extent = 0;
+    SF_RETURN_IF_ERROR(r->Str(&dim_name));
+    SF_RETURN_IF_ERROR(r->I64(&extent));
+    if (extent < 1) {
+      return DataLoss(StrCat("invalid fused-dim extent ", extent));
+    }
+    out.AddDim(std::move(dim_name), extent);
+  }
+
+  std::uint64_t num_spaces = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_spaces, 1));
+  const std::int64_t dim_limit = static_cast<std::int64_t>(num_dims);
+  for (std::uint64_t i = 0; i < num_spaces; ++i) {
+    Space s;
+    SF_RETURN_IF_ERROR(r->Str(&s.name));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &s.kind, 2, "space kind"));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &s.role, 6, "data role"));
+    SF_RETURN_IF_ERROR(r->I32Vec(&s.dims));
+    for (DimId d : s.dims) {
+      SF_RETURN_IF_ERROR(CheckIndex(d, dim_limit, "space dim"));
+    }
+    SF_RETURN_IF_ERROR(r->I32(&s.tensor));
+    SF_RETURN_IF_ERROR(r->I32(&s.op));
+    SF_RETURN_IF_ERROR(r->I64(&s.elem_bytes));
+    if (s.tensor < -1 || s.op < -1 || s.elem_bytes < 0) {
+      return DataLoss("invalid space back-links");
+    }
+    // AddSpace sorts dims; a blob whose dims were not sorted would not
+    // re-serialize canonically, so reject it outright.
+    for (size_t d = 1; d < s.dims.size(); ++d) {
+      if (s.dims[d - 1] >= s.dims[d]) {
+        return DataLoss("space dims not strictly ascending");
+      }
+    }
+    out.AddSpace(std::move(s));
+  }
+
+  std::uint64_t num_mappings = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_mappings, 1));
+  const std::int64_t space_limit = static_cast<std::int64_t>(num_spaces);
+  for (std::uint64_t i = 0; i < num_mappings; ++i) {
+    Mapping m;
+    SF_RETURN_IF_ERROR(r->I32(&m.src));
+    SF_RETURN_IF_ERROR(r->I32(&m.dst));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &m.kind, 3, "mapping kind"));
+    SF_RETURN_IF_ERROR(r->I32(&m.dim));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &m.reduce, 4, "reduce-op kind"));
+    SF_RETURN_IF_ERROR(r->I32(&m.op));
+    SF_RETURN_IF_ERROR(CheckIndex(m.src, space_limit, "mapping src"));
+    SF_RETURN_IF_ERROR(CheckIndex(m.dst, space_limit, "mapping dst"));
+    if (m.op < -1) {
+      return DataLoss(StrCat("invalid mapping op ", m.op));
+    }
+    if (m.kind == MappingKind::kOneToOne) {
+      SF_RETURN_IF_ERROR(CheckIndexOrNone(m.dim, dim_limit, "mapping dim"));
+    } else {
+      // Smg::AddMapping SF_CHECKs that directional mappings carry a dim.
+      SF_RETURN_IF_ERROR(CheckIndex(m.dim, dim_limit, "directional mapping dim"));
+    }
+    out.AddMapping(m);
+  }
+  *smg = std::move(out);
+  return Status::Ok();
+}
+
+// --- SmgBuildResult ---------------------------------------------------------
+
+void SerializeSmgBuildResult(const SmgBuildResult& built, ByteWriter* w) {
+  SerializeSmg(built.smg, w);
+  w->I32Vec(built.tensor_space);
+  w->I32Vec(built.op_space);
+  w->U64(built.tensor_axis_dims.size());
+  for (const std::vector<DimId>& axis_dims : built.tensor_axis_dims) {
+    w->I32Vec(axis_dims);
+  }
+}
+
+Status DeserializeSmgBuildResult(ByteReader* r, SmgBuildResult* built) {
+  SmgBuildResult out;
+  SF_RETURN_IF_ERROR(DeserializeSmg(r, &out.smg));
+  const std::int64_t space_limit = static_cast<std::int64_t>(out.smg.spaces().size());
+  const std::int64_t dim_limit = out.smg.num_dims();
+  SF_RETURN_IF_ERROR(r->I32Vec(&out.tensor_space));
+  for (SpaceId s : out.tensor_space) {
+    SF_RETURN_IF_ERROR(CheckIndexOrNone(s, space_limit, "tensor space"));
+  }
+  SF_RETURN_IF_ERROR(r->I32Vec(&out.op_space));
+  for (SpaceId s : out.op_space) {
+    SF_RETURN_IF_ERROR(CheckIndexOrNone(s, space_limit, "op space"));
+  }
+  std::uint64_t num_axis_lists = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_axis_lists, 1));
+  out.tensor_axis_dims.resize(num_axis_lists);
+  for (std::uint64_t i = 0; i < num_axis_lists; ++i) {
+    SF_RETURN_IF_ERROR(r->I32Vec(&out.tensor_axis_dims[i]));
+    for (DimId d : out.tensor_axis_dims[i]) {
+      SF_RETURN_IF_ERROR(CheckIndexOrNone(d, dim_limit, "tensor axis dim"));
+    }
+  }
+  *built = std::move(out);
+  return Status::Ok();
+}
+
+// --- TemporalPlan -----------------------------------------------------------
+
+void SerializeTemporalPlan(const TemporalPlan& plan, ByteWriter* w) {
+  w->I32(plan.dim);
+  w->U64(plan.aggregations.size());
+  for (const ReductionAggregation& agg : plan.aggregations) {
+    w->I32(agg.op);
+    WriteEnum(w, agg.combiner);
+    w->Bool(agg.finalize_divide_by_extent);
+    w->U64(agg.update.size());
+    for (const UpdateFactor& f : agg.update) {
+      WriteEnum(w, f.prim);
+      w->I32(f.source);
+      w->I32(f.power);
+    }
+  }
+}
+
+Status DeserializeTemporalPlan(ByteReader* r, TemporalPlan* plan) {
+  TemporalPlan out;
+  SF_RETURN_IF_ERROR(r->I32(&out.dim));
+  if (out.dim < -1) {
+    return DataLoss(StrCat("invalid temporal dim ", out.dim));
+  }
+  std::uint64_t num_aggs = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_aggs, 1));
+  out.aggregations.resize(num_aggs);
+  for (std::uint64_t i = 0; i < num_aggs; ++i) {
+    ReductionAggregation& agg = out.aggregations[i];
+    SF_RETURN_IF_ERROR(r->I32(&agg.op));
+    SF_RETURN_IF_ERROR(ReadEnum(r, &agg.combiner, 4, "aggregation combiner"));
+    SF_RETURN_IF_ERROR(r->Bool(&agg.finalize_divide_by_extent));
+    std::uint64_t num_factors = 0;
+    SF_RETURN_IF_ERROR(r->Count(&num_factors, 1));
+    agg.update.resize(num_factors);
+    for (std::uint64_t j = 0; j < num_factors; ++j) {
+      UpdateFactor& f = agg.update[j];
+      SF_RETURN_IF_ERROR(ReadEnum(r, &f.prim, 2, "update factor primitive"));
+      SF_RETURN_IF_ERROR(r->I32(&f.source));
+      SF_RETURN_IF_ERROR(r->I32(&f.power));
+    }
+  }
+  *plan = std::move(out);
+  return Status::Ok();
+}
+
+// --- SmgSchedule / ScheduledProgram -----------------------------------------
+
+namespace {
+
+void SerializeDimSlice(const DimSlice& slice, ByteWriter* w) {
+  w->I32(slice.dim);
+  w->I64(slice.block);
+}
+
+Status DeserializeDimSlice(ByteReader* r, std::int64_t dim_limit, DimSlice* slice) {
+  SF_RETURN_IF_ERROR(r->I32(&slice->dim));
+  SF_RETURN_IF_ERROR(r->I64(&slice->block));
+  SF_RETURN_IF_ERROR(CheckIndexOrNone(slice->dim, dim_limit, "sliced dim"));
+  if (slice->block < 1) {
+    return DataLoss(StrCat("invalid block size ", slice->block));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SerializeSmgSchedule(const SmgSchedule& schedule, ByteWriter* w) {
+  SerializeGraph(schedule.graph, w);
+  SerializeSmgBuildResult(schedule.built, w);
+  w->U64(schedule.spatial.size());
+  for (const DimSlice& slice : schedule.spatial) {
+    SerializeDimSlice(slice, w);
+  }
+  w->Bool(schedule.has_temporal);
+  SerializeDimSlice(schedule.temporal, w);
+  SerializeTemporalPlan(schedule.plan, w);
+  w->U64(schedule.memory.tensor_level.size());
+  for (MemLevel level : schedule.memory.tensor_level) {
+    WriteEnum(w, level);
+  }
+  w->I64(schedule.memory.smem_bytes);
+  w->I64(schedule.memory.reg_bytes);
+}
+
+Status DeserializeSmgSchedule(ByteReader* r, SmgSchedule* schedule) {
+  SmgSchedule out;
+  SF_RETURN_IF_ERROR(DeserializeGraph(r, &out.graph));
+  SF_RETURN_IF_ERROR(DeserializeSmgBuildResult(r, &out.built));
+  // The build result must be sized for this graph: downstream consumers index
+  // tensor_space / op_space / tensor_axis_dims by TensorId / OpId unchecked.
+  const size_t num_tensors = out.graph.tensors().size();
+  const size_t num_ops = out.graph.ops().size();
+  if (out.built.tensor_space.size() != num_tensors || out.built.op_space.size() != num_ops ||
+      out.built.tensor_axis_dims.size() != num_tensors) {
+    return DataLoss("SMG build result not sized for its graph");
+  }
+  for (size_t t = 0; t < num_tensors; ++t) {
+    if (out.built.tensor_axis_dims[t].size() !=
+        static_cast<size_t>(out.graph.tensor(static_cast<TensorId>(t)).shape.rank())) {
+      return DataLoss("tensor axis dims not sized for tensor rank");
+    }
+  }
+  // Smg back-links into the graph can only be range-checked here, where both
+  // sides are visible; lowering dereferences them unchecked.
+  const std::int64_t tensor_limit = static_cast<std::int64_t>(num_tensors);
+  for (const Space& s : out.built.smg.spaces()) {
+    SF_RETURN_IF_ERROR(CheckIndexOrNone(s.tensor, tensor_limit, "space tensor back-link"));
+    SF_RETURN_IF_ERROR(
+        CheckIndexOrNone(s.op, static_cast<std::int64_t>(num_ops), "space op back-link"));
+  }
+  for (const Mapping& m : out.built.smg.mappings()) {
+    SF_RETURN_IF_ERROR(
+        CheckIndexOrNone(m.op, static_cast<std::int64_t>(num_ops), "mapping op back-link"));
+  }
+  const std::int64_t dim_limit = out.built.smg.num_dims();
+  std::uint64_t num_spatial = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_spatial, 1));
+  out.spatial.resize(num_spatial);
+  for (std::uint64_t i = 0; i < num_spatial; ++i) {
+    SF_RETURN_IF_ERROR(DeserializeDimSlice(r, dim_limit, &out.spatial[i]));
+  }
+  SF_RETURN_IF_ERROR(r->Bool(&out.has_temporal));
+  SF_RETURN_IF_ERROR(DeserializeDimSlice(r, dim_limit, &out.temporal));
+  SF_RETURN_IF_ERROR(DeserializeTemporalPlan(r, &out.plan));
+  SF_RETURN_IF_ERROR(CheckIndexOrNone(out.plan.dim, dim_limit, "temporal plan dim"));
+  const std::int64_t op_limit = static_cast<std::int64_t>(num_ops);
+  for (const ReductionAggregation& agg : out.plan.aggregations) {
+    SF_RETURN_IF_ERROR(CheckIndex(agg.op, op_limit, "aggregation op"));
+    for (const UpdateFactor& f : agg.update) {
+      SF_RETURN_IF_ERROR(CheckIndexOrNone(f.source, op_limit, "update factor source"));
+    }
+  }
+  std::uint64_t num_levels = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_levels, 1));
+  // tensor_level is indexed by TensorId; an unplanned (empty) map is the only
+  // other legal shape.
+  if (num_levels != 0 && num_levels != num_tensors) {
+    return DataLoss("memory plan not sized for its graph");
+  }
+  out.memory.tensor_level.resize(num_levels);
+  for (std::uint64_t i = 0; i < num_levels; ++i) {
+    SF_RETURN_IF_ERROR(ReadEnum(r, &out.memory.tensor_level[i], 4, "memory level"));
+  }
+  SF_RETURN_IF_ERROR(r->I64(&out.memory.smem_bytes));
+  SF_RETURN_IF_ERROR(r->I64(&out.memory.reg_bytes));
+  *schedule = std::move(out);
+  return Status::Ok();
+}
+
+void SerializeScheduledProgram(const ScheduledProgram& program, ByteWriter* w) {
+  w->U64(program.kernels.size());
+  for (const SmgSchedule& kernel : program.kernels) {
+    SerializeSmgSchedule(kernel, w);
+  }
+}
+
+Status DeserializeScheduledProgram(ByteReader* r, ScheduledProgram* program) {
+  std::uint64_t num_kernels = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_kernels, 1));
+  program->kernels.resize(num_kernels);
+  for (std::uint64_t i = 0; i < num_kernels; ++i) {
+    SF_RETURN_IF_ERROR(DeserializeSmgSchedule(r, &program->kernels[i]));
+  }
+  return Status::Ok();
+}
+
+// --- KernelSpec / ExecutionReport -------------------------------------------
+
+namespace {
+
+void SerializeTraffic(const TensorTraffic& t, ByteWriter* w) {
+  w->Str(t.tensor);
+  w->I64(t.unique_bytes);
+  w->I64(t.per_block_bytes);
+  w->F64(t.touches_per_byte);
+  w->Bool(t.shared_across_blocks);
+  w->I64(t.base_address);
+}
+
+Status DeserializeTraffic(ByteReader* r, TensorTraffic* t) {
+  SF_RETURN_IF_ERROR(r->Str(&t->tensor));
+  SF_RETURN_IF_ERROR(r->I64(&t->unique_bytes));
+  SF_RETURN_IF_ERROR(r->I64(&t->per_block_bytes));
+  SF_RETURN_IF_ERROR(r->F64(&t->touches_per_byte));
+  SF_RETURN_IF_ERROR(r->Bool(&t->shared_across_blocks));
+  SF_RETURN_IF_ERROR(r->I64(&t->base_address));
+  if (t->unique_bytes < 0 || t->per_block_bytes < 0 || t->base_address < 0) {
+    return DataLoss("negative traffic bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SerializeKernelSpec(const KernelSpec& kernel, ByteWriter* w) {
+  w->Str(kernel.name);
+  w->I64(kernel.grid);
+  w->I32(kernel.threads_per_block);
+  w->I64(kernel.smem_per_block);
+  w->I64(kernel.regs_per_block_bytes);
+  w->I64(kernel.flops);
+  w->F64(kernel.compute_efficiency);
+  w->F64(kernel.bandwidth_efficiency);
+  w->U64(kernel.reads.size());
+  for (const TensorTraffic& t : kernel.reads) {
+    SerializeTraffic(t, w);
+  }
+  w->U64(kernel.writes.size());
+  for (const TensorTraffic& t : kernel.writes) {
+    SerializeTraffic(t, w);
+  }
+}
+
+Status DeserializeKernelSpec(ByteReader* r, KernelSpec* kernel) {
+  KernelSpec out;
+  SF_RETURN_IF_ERROR(r->Str(&out.name));
+  SF_RETURN_IF_ERROR(r->I64(&out.grid));
+  SF_RETURN_IF_ERROR(r->I32(&out.threads_per_block));
+  SF_RETURN_IF_ERROR(r->I64(&out.smem_per_block));
+  SF_RETURN_IF_ERROR(r->I64(&out.regs_per_block_bytes));
+  SF_RETURN_IF_ERROR(r->I64(&out.flops));
+  SF_RETURN_IF_ERROR(r->F64(&out.compute_efficiency));
+  SF_RETURN_IF_ERROR(r->F64(&out.bandwidth_efficiency));
+  if (out.grid < 1 || out.threads_per_block < 1 || out.smem_per_block < 0 || out.flops < 0) {
+    return DataLoss("invalid kernel geometry");
+  }
+  std::uint64_t num_reads = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_reads, 1));
+  out.reads.resize(num_reads);
+  for (std::uint64_t i = 0; i < num_reads; ++i) {
+    SF_RETURN_IF_ERROR(DeserializeTraffic(r, &out.reads[i]));
+  }
+  std::uint64_t num_writes = 0;
+  SF_RETURN_IF_ERROR(r->Count(&num_writes, 1));
+  out.writes.resize(num_writes);
+  for (std::uint64_t i = 0; i < num_writes; ++i) {
+    SF_RETURN_IF_ERROR(DeserializeTraffic(r, &out.writes[i]));
+  }
+  *kernel = std::move(out);
+  return Status::Ok();
+}
+
+void SerializeExecutionReport(const ExecutionReport& report, ByteWriter* w) {
+  w->F64(report.time_us);
+  w->I32(report.kernel_count);
+  w->I64(report.flops);
+  w->I64(report.dram_bytes);
+  w->I64(report.l1_accesses);
+  w->I64(report.l1_misses);
+  w->I64(report.l2_accesses);
+  w->I64(report.l2_misses);
+}
+
+Status DeserializeExecutionReport(ByteReader* r, ExecutionReport* report) {
+  SF_RETURN_IF_ERROR(r->F64(&report->time_us));
+  SF_RETURN_IF_ERROR(r->I32(&report->kernel_count));
+  SF_RETURN_IF_ERROR(r->I64(&report->flops));
+  SF_RETURN_IF_ERROR(r->I64(&report->dram_bytes));
+  SF_RETURN_IF_ERROR(r->I64(&report->l1_accesses));
+  SF_RETURN_IF_ERROR(r->I64(&report->l1_misses));
+  SF_RETURN_IF_ERROR(r->I64(&report->l2_accesses));
+  SF_RETURN_IF_ERROR(r->I64(&report->l2_misses));
+  return Status::Ok();
+}
+
+}  // namespace spacefusion

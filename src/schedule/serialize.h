@@ -1,0 +1,53 @@
+// Binary (de)serialization of the schedule IR: everything a compiled
+// program is made of — operator graphs, fused SMGs, slicing decisions,
+// temporal aggregation plans, memory plans, lowered kernel specs, and
+// simulator reports.
+//
+// This is the substrate of the persistent program cache (src/core
+// program_store.h wraps it in a versioned, checksummed container): a
+// schedule written by one process and read by another must behave
+// bit-identically, so every double travels as its raw IEEE-754 bits and
+// every structure serializes all the fields later stages read.
+//
+// Deserializers are built for untrusted bytes: they return Status (never
+// crash) and validate cross-references — tensor/op/space/dim indices, enum
+// ranges, producer uniqueness — before reconstructing, because Graph::AddOp
+// and Smg::AddMapping enforce their invariants with SF_CHECK aborts.
+// Serialization is canonical: deserializing and re-serializing any accepted
+// blob reproduces the input bytes exactly.
+#ifndef SPACEFUSION_SRC_SCHEDULE_SERIALIZE_H_
+#define SPACEFUSION_SRC_SCHEDULE_SERIALIZE_H_
+
+#include "src/schedule/schedule_ir.h"
+#include "src/sim/kernel.h"
+#include "src/support/binary_io.h"
+
+namespace spacefusion {
+
+void SerializeGraph(const Graph& graph, ByteWriter* w);
+Status DeserializeGraph(ByteReader* r, Graph* graph);
+
+void SerializeSmg(const Smg& smg, ByteWriter* w);
+Status DeserializeSmg(ByteReader* r, Smg* smg);
+
+void SerializeSmgBuildResult(const SmgBuildResult& built, ByteWriter* w);
+Status DeserializeSmgBuildResult(ByteReader* r, SmgBuildResult* built);
+
+void SerializeTemporalPlan(const TemporalPlan& plan, ByteWriter* w);
+Status DeserializeTemporalPlan(ByteReader* r, TemporalPlan* plan);
+
+void SerializeSmgSchedule(const SmgSchedule& schedule, ByteWriter* w);
+Status DeserializeSmgSchedule(ByteReader* r, SmgSchedule* schedule);
+
+void SerializeScheduledProgram(const ScheduledProgram& program, ByteWriter* w);
+Status DeserializeScheduledProgram(ByteReader* r, ScheduledProgram* program);
+
+void SerializeKernelSpec(const KernelSpec& kernel, ByteWriter* w);
+Status DeserializeKernelSpec(ByteReader* r, KernelSpec* kernel);
+
+void SerializeExecutionReport(const ExecutionReport& report, ByteWriter* w);
+Status DeserializeExecutionReport(ByteReader* r, ExecutionReport* report);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_SCHEDULE_SERIALIZE_H_

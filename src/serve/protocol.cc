@@ -1,0 +1,159 @@
+#include "src/serve/protocol.h"
+
+#include <cstdio>
+
+#include "src/support/json.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips every finite double exactly; the warm-start contract
+// compares ExecutionReports that crossed this protocol bit for bit.
+std::string ExactDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::int64_t GetInt(const JsonValue& doc, const std::string& key, std::int64_t fallback) {
+  const JsonValue* v = doc.Get(key);
+  return v != nullptr && v->is_number() ? v->integer() : fallback;
+}
+
+}  // namespace
+
+StatusOr<ModelKind> ModelKindFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "bert") {
+    return ModelKind::kBert;
+  }
+  if (lower == "albert") {
+    return ModelKind::kAlbert;
+  }
+  if (lower == "t5") {
+    return ModelKind::kT5;
+  }
+  if (lower == "vit") {
+    return ModelKind::kViT;
+  }
+  if (lower == "llama2") {
+    return ModelKind::kLlama2;
+  }
+  return InvalidArgument(StrCat("unknown model \"", name,
+                                "\" (expected bert|albert|t5|vit|llama2)"));
+}
+
+StatusOr<GpuArch> ArchFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  // Chip codes and microarchitecture names both work: GpuArch::name is
+  // "Volta"/"Ampere"/"Hopper", the paper and CLI flags say V100/A100/H100.
+  if (lower == "v100" || lower == "volta") {
+    return VoltaV100();
+  }
+  if (lower == "a100" || lower == "ampere") {
+    return AmpereA100();
+  }
+  if (lower == "h100" || lower == "hopper") {
+    return HopperH100();
+  }
+  return InvalidArgument(StrCat("unknown arch \"", name, "\" (expected v100|a100|h100)"));
+}
+
+std::string ServeRequestToJson(const ServeRequest& request) {
+  return StrCat("{\"id\":\"", JsonEscape(request.id), "\",\"client\":\"",
+                JsonEscape(request.client), "\",\"model\":\"", JsonEscape(request.model),
+                "\",\"batch\":", request.batch, ",\"seq\":", request.seq, ",\"arch\":\"",
+                JsonEscape(request.arch), "\",\"deadline_ms\":", request.deadline_ms, "}");
+}
+
+StatusOr<ServeRequest> ServeRequestFromJson(const std::string& line) {
+  SF_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return InvalidArgument("serve request: line is not a JSON object");
+  }
+  ServeRequest request;
+  request.id = doc.GetString("id");
+  request.client = doc.GetString("client", "anonymous");
+  request.model = doc.GetString("model");
+  request.batch = GetInt(doc, "batch", 1);
+  request.seq = GetInt(doc, "seq", 128);
+  request.arch = doc.GetString("arch", "a100");
+  request.deadline_ms = GetInt(doc, "deadline_ms", 0);
+  if (request.model.empty()) {
+    return InvalidArgument("serve request: missing \"model\"");
+  }
+  if (request.batch < 1 || request.seq < 1) {
+    return InvalidArgument(StrCat("serve request: invalid batch ", request.batch, " / seq ",
+                                  request.seq));
+  }
+  return request;
+}
+
+std::string ServeResponseToJson(const ServeResponse& response) {
+  std::string out = StrCat("{\"id\":\"", JsonEscape(response.id), "\",\"status\":\"",
+                           JsonEscape(response.status), "\"");
+  if (!response.ok()) {
+    out += StrCat(",\"error\":\"", JsonEscape(response.error), "\"}");
+    return out;
+  }
+  out += StrCat(
+      ",\"outcome\":\"", JsonEscape(response.outcome),
+      "\",\"coalesced\":", response.coalesced ? "true" : "false", ",\"model\":\"",
+      JsonEscape(response.model), "\",\"unique_subprograms\":", response.unique_subprograms,
+      ",\"cache_hits\":", response.cache_hits,
+      ",\"tuning_seconds\":", ExactDouble(response.tuning_seconds),
+      ",\"estimate\":{\"time_us\":", ExactDouble(response.estimate.time_us),
+      ",\"kernel_count\":", response.estimate.kernel_count,
+      ",\"flops\":", response.estimate.flops, ",\"dram_bytes\":", response.estimate.dram_bytes,
+      ",\"l1_accesses\":", response.estimate.l1_accesses,
+      ",\"l1_misses\":", response.estimate.l1_misses,
+      ",\"l2_accesses\":", response.estimate.l2_accesses,
+      ",\"l2_misses\":", response.estimate.l2_misses,
+      "},\"wall_ms\":", ExactDouble(response.wall_ms), "}");
+  return out;
+}
+
+StatusOr<ServeResponse> ServeResponseFromJson(const std::string& line) {
+  SF_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return InvalidArgument("serve response: line is not a JSON object");
+  }
+  ServeResponse response;
+  response.id = doc.GetString("id");
+  response.status = doc.GetString("status", "ok");
+  response.error = doc.GetString("error");
+  response.outcome = doc.GetString("outcome");
+  const JsonValue* coalesced = doc.Get("coalesced");
+  response.coalesced = coalesced != nullptr && coalesced->boolean();
+  response.model = doc.GetString("model");
+  response.unique_subprograms = static_cast<int>(GetInt(doc, "unique_subprograms", 0));
+  response.cache_hits = static_cast<int>(GetInt(doc, "cache_hits", 0));
+  response.tuning_seconds = doc.GetNumber("tuning_seconds");
+  if (const JsonValue* estimate = doc.Get("estimate");
+      estimate != nullptr && estimate->is_object()) {
+    response.estimate.time_us = estimate->GetNumber("time_us");
+    response.estimate.kernel_count = static_cast<int>(GetInt(*estimate, "kernel_count", 0));
+    response.estimate.flops = GetInt(*estimate, "flops", 0);
+    response.estimate.dram_bytes = GetInt(*estimate, "dram_bytes", 0);
+    response.estimate.l1_accesses = GetInt(*estimate, "l1_accesses", 0);
+    response.estimate.l1_misses = GetInt(*estimate, "l1_misses", 0);
+    response.estimate.l2_accesses = GetInt(*estimate, "l2_accesses", 0);
+    response.estimate.l2_misses = GetInt(*estimate, "l2_misses", 0);
+  }
+  response.wall_ms = doc.GetNumber("wall_ms");
+  return response;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,273 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+void Mix(std::uint64_t* h, std::uint64_t v) {
+  *h ^= v;
+  *h *= 1099511628211ULL;  // FNV prime
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServeServerOptions options) : options_(std::move(options)) {
+  EngineOptions engine_options(options_.compile);
+  engine_options.cache_dir = options_.cache_dir;
+  engine_ = std::make_unique<CompilerEngine>(std::move(engine_options));
+  paused_ = options_.start_paused;
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
+}
+
+ServeServer::~ServeServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  // ThreadPool's destructor drains its queue before joining, so every
+  // admitted job still runs and every promise is fulfilled.
+  pool_.reset();
+}
+
+void ServeServer::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void ServeServer::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+ServeServer::Stats ServeServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::int64_t ServeServer::inflight_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(jobs_.size());
+}
+
+ServeResponse ServeServer::RejectedResponse(const ServeRequest& request, StatusCode code,
+                                            const std::string& detail) const {
+  ServeResponse response;
+  response.id = request.id;
+  response.status = StatusCodeName(code);
+  response.error = detail;
+  response.model = request.model;
+  return response;
+}
+
+ServeResponse ServeServer::Handle(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  SF_COUNTER_ADD("serve.requests", 1);
+
+  StatusOr<ModelKind> kind = ModelKindFromName(request.model);
+  StatusOr<GpuArch> arch = ArchFromName(request.arch);
+  if (!kind.ok() || !arch.ok()) {
+    const Status& bad = !kind.ok() ? kind.status() : arch.status();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.failed;
+    }
+    SF_COUNTER_ADD("serve.failed", 1);
+    promise.set_value(RejectedResponse(request, bad.code(), bad.message()));
+    return future;
+  }
+
+  CompileOptions job_options = options_.compile;
+  job_options.arch = std::move(arch).value();
+  ModelGraph model = BuildModel(GetModelConfig(kind.value(), request.batch, request.seq));
+
+  // Coalescing key = what the engine's program cache would be keyed by for
+  // this whole model: the fold of its subprogram fingerprints plus the
+  // options digest. Requests that would compile the same programs share one
+  // job, whatever their request ids or clients.
+  std::uint64_t key = 1469598103934665603ULL;
+  for (const Subprogram& sub : model.subprograms) {
+    Mix(&key, sub.graph.StructuralHash());
+  }
+  Mix(&key, CompileOptionsDigest(job_options));
+
+  Waiter waiter;
+  waiter.promise = std::move(promise);
+  waiter.request_id = request.id;
+  waiter.client = request.client;
+  waiter.enqueued = Clock::now();
+  if (request.deadline_ms > 0) {
+    waiter.has_deadline = true;
+    waiter.deadline = waiter.enqueued + std::chrono::milliseconds(request.deadline_ms);
+  }
+
+  std::shared_ptr<Job> job_to_run;
+  const char* reject_metric = nullptr;
+  ServeResponse rejection;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    int& inflight = client_inflight_[request.client];
+    if (inflight >= options_.per_client_inflight) {
+      ++stats_.rejected_quota;
+      reject_metric = "serve.rejected_quota";
+      rejection = RejectedResponse(
+          request, StatusCode::kResourceExhausted,
+          StrCat("client \"", request.client, "\" has ", inflight,
+                 " request(s) in flight (limit ", options_.per_client_inflight, ")"));
+    } else if (auto it = jobs_.find(key); it != jobs_.end()) {
+      waiter.coalesced = true;
+      ++inflight;
+      ++stats_.coalesced;
+      SF_COUNTER_ADD("serve.coalesced", 1);
+      it->second->waiters.push_back(std::move(waiter));
+      return future;
+    } else if (static_cast<int>(jobs_.size()) >= options_.max_inflight_jobs) {
+      ++stats_.rejected_queue;
+      reject_metric = "serve.rejected_queue";
+      rejection = RejectedResponse(
+          request, StatusCode::kResourceExhausted,
+          StrCat("admission queue full: ", jobs_.size(), " job(s) in flight (limit ",
+                 options_.max_inflight_jobs, ")"));
+    } else {
+      auto job = std::make_shared<Job>();
+      job->key = key;
+      job->model = std::move(model);
+      job->options = std::move(job_options);
+      job->model_name = job->model.config.name;
+      ++inflight;
+      job->waiters.push_back(std::move(waiter));
+      jobs_.emplace(key, job);
+      job_to_run = std::move(job);
+    }
+  }
+  if (reject_metric != nullptr) {
+    SF_COUNTER_ADD(reject_metric, 1);
+    waiter.promise.set_value(std::move(rejection));
+    return future;
+  }
+  pool_->Submit([this, job_to_run] { RunJob(job_to_run); });
+  return future;
+}
+
+void ServeServer::Deliver(Waiter* waiter, ServeResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = client_inflight_.find(waiter->client);
+    if (it != client_inflight_.end() && --it->second <= 0) {
+      client_inflight_.erase(it);
+    }
+    if (response.ok()) {
+      ++stats_.completed;
+    } else if (response.status == StatusCodeName(StatusCode::kDeadlineExceeded)) {
+      ++stats_.deadline_expired;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (response.ok()) {
+    SF_COUNTER_ADD("serve.completed", 1);
+    SF_HISTOGRAM_OBSERVE("serve.wall_ms", response.wall_ms);
+  } else if (response.status == StatusCodeName(StatusCode::kDeadlineExceeded)) {
+    SF_COUNTER_ADD("serve.deadline_exceeded", 1);
+  } else {
+    SF_COUNTER_ADD("serve.failed", 1);
+  }
+  waiter->promise.set_value(std::move(response));
+}
+
+void ServeServer::RunJob(const std::shared_ptr<Job>& job) {
+  std::vector<Waiter> expired;
+  bool skip = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pause_cv_.wait(lock, [this] { return !paused_ || shutting_down_; });
+    const Clock::time_point now = Clock::now();
+    std::vector<Waiter>& waiters = job->waiters;
+    for (auto it = waiters.begin(); it != waiters.end();) {
+      if (it->has_deadline && it->deadline <= now) {
+        expired.push_back(std::move(*it));
+        it = waiters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (waiters.empty()) {
+      // Every requester already expired: skip the compile entirely. Nothing
+      // reached the engine, so no cache (memory or disk) saw this request.
+      jobs_.erase(job->key);
+      ++stats_.compile_skipped;
+      skip = true;
+    } else {
+      ++stats_.compiles;
+    }
+  }
+  for (Waiter& waiter : expired) {
+    Deliver(&waiter,
+            RejectedResponse(ServeRequest{waiter.request_id, waiter.client, job->model_name},
+                             StatusCode::kDeadlineExceeded,
+                             "deadline expired before the compile started"));
+  }
+  if (skip) {
+    SF_COUNTER_ADD("serve.compile_skipped", 1);
+    return;
+  }
+  SF_COUNTER_ADD("serve.compiles", 1);
+
+  StatusOr<CompiledModel> compiled = engine_->CompileModel(job->model, job->options);
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.erase(job->key);
+    waiters = std::move(job->waiters);
+  }
+  const Clock::time_point done = Clock::now();
+  for (Waiter& waiter : waiters) {
+    if (waiter.has_deadline && waiter.deadline <= done) {
+      // The compile finished, its result is cached for the next request —
+      // only this delivery expired.
+      Deliver(&waiter,
+              RejectedResponse(ServeRequest{waiter.request_id, waiter.client, job->model_name},
+                               StatusCode::kDeadlineExceeded,
+                               "deadline expired while the compile ran"));
+      continue;
+    }
+    ServeResponse response;
+    response.id = waiter.request_id;
+    response.model = job->model_name;
+    if (!compiled.ok()) {
+      response.status = StatusCodeName(compiled.status().code());
+      response.error = compiled.status().ToString();
+    } else {
+      const CompiledModel& result = *compiled;
+      response.outcome = result.report.outcome;
+      response.coalesced = waiter.coalesced;
+      response.unique_subprograms = static_cast<int>(result.unique_subprograms.size());
+      response.cache_hits = result.cache_hits;
+      response.tuning_seconds = result.compile_time.tuning_s;
+      response.estimate = result.total;
+      response.wall_ms =
+          std::chrono::duration<double, std::milli>(done - waiter.enqueued).count();
+    }
+    Deliver(&waiter, std::move(response));
+  }
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,184 @@
+#include "src/support/binary_io.h"
+
+#include <cstring>
+
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+namespace {
+
+// Little-endian on every supported target; spelled out so the format is
+// identical across hosts regardless of native byte order.
+template <typename T>
+void AppendLe(std::string* out, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T LoadLe(const char* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void ByteWriter::U32(std::uint32_t v) { AppendLe(&out_, v); }
+void ByteWriter::U64(std::uint64_t v) { AppendLe(&out_, v); }
+
+void ByteWriter::F64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::F32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U32(bits);
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U64(s.size());
+  out_.append(s);
+}
+
+void ByteWriter::I64Vec(const std::vector<std::int64_t>& v) {
+  U64(v.size());
+  for (std::int64_t x : v) {
+    I64(x);
+  }
+}
+
+void ByteWriter::I32Vec(const std::vector<std::int32_t>& v) {
+  U64(v.size());
+  for (std::int32_t x : v) {
+    I32(x);
+  }
+}
+
+Status ByteReader::Raw(void* dst, size_t n) {
+  if (remaining() < n) {
+    return DataLoss(StrCat("truncated: need ", n, " byte(s) at offset ", pos_, ", have ",
+                           remaining()));
+  }
+  std::memcpy(dst, data_->data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::U8(std::uint8_t* v) { return Raw(v, 1); }
+
+Status ByteReader::Bool(bool* v) {
+  std::uint8_t byte = 0;
+  SF_RETURN_IF_ERROR(U8(&byte));
+  if (byte > 1) {
+    return DataLoss(StrCat("invalid bool byte ", static_cast<int>(byte)));
+  }
+  *v = byte != 0;
+  return Status::Ok();
+}
+
+Status ByteReader::U32(std::uint32_t* v) {
+  char buf[4];
+  SF_RETURN_IF_ERROR(Raw(buf, sizeof(buf)));
+  *v = LoadLe<std::uint32_t>(buf);
+  return Status::Ok();
+}
+
+Status ByteReader::U64(std::uint64_t* v) {
+  char buf[8];
+  SF_RETURN_IF_ERROR(Raw(buf, sizeof(buf)));
+  *v = LoadLe<std::uint64_t>(buf);
+  return Status::Ok();
+}
+
+Status ByteReader::I64(std::int64_t* v) {
+  std::uint64_t u = 0;
+  SF_RETURN_IF_ERROR(U64(&u));
+  *v = static_cast<std::int64_t>(u);
+  return Status::Ok();
+}
+
+Status ByteReader::I32(std::int32_t* v) {
+  std::uint32_t u = 0;
+  SF_RETURN_IF_ERROR(U32(&u));
+  *v = static_cast<std::int32_t>(u);
+  return Status::Ok();
+}
+
+Status ByteReader::F64(double* v) {
+  std::uint64_t bits = 0;
+  SF_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::Ok();
+}
+
+Status ByteReader::F32(float* v) {
+  std::uint32_t bits = 0;
+  SF_RETURN_IF_ERROR(U32(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::Ok();
+}
+
+Status ByteReader::Count(std::uint64_t* count, std::uint64_t elem_bytes) {
+  SF_RETURN_IF_ERROR(U64(count));
+  if (elem_bytes == 0) {
+    elem_bytes = 1;
+  }
+  if (*count > remaining() / elem_bytes) {
+    return DataLoss(StrCat("corrupt count ", *count, " (x", elem_bytes, " byte(s)) exceeds the ",
+                           remaining(), " byte(s) remaining"));
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::Str(std::string* s) {
+  std::uint64_t len = 0;
+  SF_RETURN_IF_ERROR(Count(&len, 1));
+  s->assign(data_->data() + pos_, len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status ByteReader::I64Vec(std::vector<std::int64_t>* v) {
+  std::uint64_t n = 0;
+  SF_RETURN_IF_ERROR(Count(&n, 8));
+  v->clear();
+  v->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t x = 0;
+    SF_RETURN_IF_ERROR(I64(&x));
+    v->push_back(x);
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::I32Vec(std::vector<std::int32_t>* v) {
+  std::uint64_t n = 0;
+  SF_RETURN_IF_ERROR(Count(&n, 4));
+  v->clear();
+  v->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int32_t x = 0;
+    SF_RETURN_IF_ERROR(I32(&x));
+    v->push_back(x);
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Fnv1a64(const char* data, size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,98 @@
+#include "src/support/file_util.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/support/string_util.h"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace spacefusion {
+
+namespace {
+
+long ProcessId() {
+#ifdef _WIN32
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+
+// Distinguishes concurrent writers of the same path inside one process; the
+// pid distinguishes processes sharing a cache directory.
+std::atomic<std::uint64_t> g_write_seq{0};
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    // A pre-existing directory is fine; a real failure surfaces at fopen.
+  }
+  std::string tmp = StrCat(path, ".tmp.", ProcessId(), ".",
+                           g_write_seq.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Internal(StrCat("cannot open ", tmp, " for writing: ", std::strerror(errno)));
+  }
+  size_t written = contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Internal(StrCat("short write to ", tmp, " (", written, " of ", contents.size(),
+                           " bytes)"));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Internal(StrCat("cannot rename ", tmp, " to ", path, ": ", std::strerror(errno)));
+    std::remove(tmp.c_str());
+    return st;
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ListDirectory(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return NotFound(StrCat(path, " does not exist"));
+    }
+    return Internal(StrCat("cannot open ", path, ": ", std::strerror(errno)));
+  }
+  std::string out;
+  char buf[64 * 1024];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Internal(StrCat("read error on ", path));
+  }
+  return out;
+}
+
+}  // namespace spacefusion

@@ -16,11 +16,14 @@ namespace spacefusion {
 
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   // caller error: malformed graph, bad config
-  kUnschedulable,     // expected: SMG cannot be scheduled under resources
-  kUnsupported,       // operator / pattern outside the implemented scope
-  kInternal,          // invariant violation (a bug)
+  kInvalidArgument,    // caller error: malformed graph, bad config
+  kUnschedulable,      // expected: SMG cannot be scheduled under resources
+  kUnsupported,        // operator / pattern outside the implemented scope
+  kInternal,           // invariant violation (a bug)
   kNotFound,
+  kDeadlineExceeded,   // serving: request expired before/while compiling
+  kResourceExhausted,  // serving: admission queue full or client over quota
+  kDataLoss,           // persisted artifact truncated / corrupted / stale
 };
 
 // Human-readable name of a status code, e.g. "UNSCHEDULABLE".
@@ -61,6 +64,15 @@ inline Status Internal(std::string msg) {
 }
 inline Status NotFound(std::string msg) {
   return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 // A value-or-error result. Minimal analogue of absl::StatusOr.

@@ -8,13 +8,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/program_store.h"
 #include "src/core/spacefusion.h"
 #include "src/obs/report.h"
+#include "src/support/file_util.h"
 #include "src/schedule/lowering.h"
 #include "src/schedule/resource_aware.h"
 #include "src/sim/cost_cache.h"
@@ -272,6 +275,121 @@ TEST_F(DeterminismTest, EngineCompileIdenticalAcrossJobCountsAllModels) {
     EXPECT_EQ(model_fingerprint(*first), serial) << ModelKindName(kind);
     EXPECT_EQ(model_fingerprint(*cached), serial) << ModelKindName(kind);
   }
+}
+
+// The persistent program cache joins the determinism contract: an engine
+// warming from disk (a restarted daemon) must produce schedules, estimates,
+// and simulated tuning seconds bit-identical to the cold compile that wrote
+// the cache — at every SPACEFUSION_JOBS value, since a persistent hit must
+// not depend on tuner parallelism at all.
+TEST_F(DeterminismTest, WarmFromDiskIdenticalToColdAllModels) {
+  const std::string cache_dir = testing::TempDir() + "/sf_determinism_warm_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  auto model_fingerprint = [](const CompiledModel& compiled) {
+    std::string out;
+    for (const CompiledSubprogram& sub : compiled.unique_subprograms) {
+      for (const SmgSchedule& kernel : sub.program.kernels) {
+        out += kernel.ToString();
+      }
+      char line[160];
+      std::snprintf(line, sizeof(line), "est=%.17g tune=%.17g tried=%d screened=%d\n",
+                    sub.estimate.time_us, sub.tuning.simulated_tuning_seconds,
+                    sub.tuning.configs_tried, sub.tuning.configs_screened);
+      out += line;
+    }
+    char total[128];
+    std::snprintf(total, sizeof(total), "total=%.17g tuning_s=%.17g", compiled.total.time_us,
+                  compiled.compile_time.tuning_s);
+    out += total;
+    return out;
+  };
+
+  auto compile_with_cache = [&](ModelKind kind, int jobs, std::string* outcome,
+                                CompilerEngine::CacheStats* stats) {
+    ResetGlobalThreadPool(jobs);
+    EngineOptions options{CompileOptions(AmpereA100())};
+    options.cache_dir = cache_dir;
+    CompilerEngine engine(options);
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/1, /*seq=*/128));
+    StatusOr<CompiledModel> compiled = engine.CompileModel(model);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    *outcome = compiled->report.outcome;
+    *stats = engine.cache_stats();
+    return model_fingerprint(*compiled);
+  };
+
+  for (ModelKind kind : AllModelKinds()) {
+    std::string outcome;
+    CompilerEngine::CacheStats stats;
+    const std::string cold = compile_with_cache(kind, /*jobs=*/1, &outcome, &stats);
+    // Albert shares Bert's subprogram structure, so by the time it compiles
+    // the cache already holds its programs; everything else starts cold.
+    ASSERT_TRUE(outcome == "cold" || kind == ModelKind::kAlbert) << ModelKindName(kind);
+
+    for (int jobs : {1, 8}) {
+      const std::string warm = compile_with_cache(kind, jobs, &outcome, &stats);
+      EXPECT_EQ(warm, cold) << ModelKindName(kind) << " jobs=" << jobs;
+      EXPECT_EQ(outcome, "persistent_hit") << ModelKindName(kind) << " jobs=" << jobs;
+      EXPECT_GT(stats.persistent_hits, 0) << ModelKindName(kind);
+      EXPECT_EQ(stats.persistent_stale, 0);
+      EXPECT_EQ(stats.persistent_corrupt, 0);
+    }
+  }
+}
+
+// Stale entries — written under a different key context, here a different
+// architecture — are silently ignored: the engine compiles cold, the result
+// is bit-identical to a never-cached compile, and only the stale counter
+// betrays that anything was found on disk.
+TEST_F(DeterminismTest, StaleCacheEntriesFallBackToColdSilently) {
+  const std::string cache_dir = testing::TempDir() + "/sf_determinism_stale_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  EngineOptions options{CompileOptions(AmpereA100())};
+  options.cache_dir = cache_dir;
+  ModelGraph model = BuildModel(GetModelConfig(ModelKind::kBert, /*batch=*/1, /*seq=*/128));
+
+  ResetGlobalThreadPool(8);
+  std::string cold_schedules;
+  {
+    CompilerEngine engine(options);
+    StatusOr<CompiledModel> compiled = engine.CompileModel(model);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    for (const CompiledSubprogram& sub : compiled->unique_subprograms) {
+      for (const SmgSchedule& kernel : sub.program.kernels) {
+        cold_schedules += kernel.ToString();
+      }
+    }
+  }
+
+  // Rewrite every entry as if it had been compiled for another arch: the
+  // file is intact (checksum passes) but the key context no longer matches.
+  for (const std::string& name : ListDirectory(cache_dir)) {
+    const std::string path = cache_dir + "/" + name;
+    StatusOr<std::string> bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    PersistedProgram entry;
+    ASSERT_TRUE(DecodePersistedProgram(*bytes, &entry).ok());
+    entry.arch = "Volta";
+    ASSERT_TRUE(AtomicWriteFile(path, EncodePersistedProgram(entry)).ok());
+  }
+
+  CompilerEngine engine(options);
+  StatusOr<CompiledModel> recompiled = engine.CompileModel(model);
+  ASSERT_TRUE(recompiled.ok()) << recompiled.status().ToString();
+  EXPECT_EQ(recompiled->report.outcome, "cold");
+  std::string stale_schedules;
+  for (const CompiledSubprogram& sub : recompiled->unique_subprograms) {
+    for (const SmgSchedule& kernel : sub.program.kernels) {
+      stale_schedules += kernel.ToString();
+    }
+  }
+  EXPECT_EQ(stale_schedules, cold_schedules);
+  CompilerEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.persistent_stale, 0);
+  EXPECT_EQ(stats.persistent_hits, 0);
+  EXPECT_EQ(stats.persistent_corrupt, 0);
 }
 
 // ---------------------------------------------------------------------------

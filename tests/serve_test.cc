@@ -1,0 +1,300 @@
+// The serving-grade battery for ServeServer: request coalescing under a
+// client storm, per-client quotas, deadline expiry that never poisons a
+// cache, and the kill/restart cycle that must serve persistent hits
+// bit-identical to the cold results it replaced.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/server.h"
+#include "src/support/file_util.h"
+
+namespace spacefusion {
+namespace {
+
+ServeRequest Request(const std::string& id, const std::string& model,
+                     const std::string& client = "test", std::int64_t deadline_ms = 0) {
+  ServeRequest request;
+  request.id = id;
+  request.client = client;
+  request.model = model;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+// Options with persistence off unless a test opts in, whatever
+// SPACEFUSION_CACHE_DIR says in the environment.
+ServeServerOptions Options() {
+  ServeServerOptions options;
+  options.cache_dir.clear();
+  return options;
+}
+
+TEST(ServeTest, ColdThenCacheHit) {
+  ServeServer server(Options());
+  ServeResponse first = server.Handle(Request("r1", "bert"));
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.outcome, "cold");
+  EXPECT_EQ(first.model, "Bert");
+  EXPECT_GT(first.estimate.time_us, 0.0);
+
+  ServeResponse second = server.Handle(Request("r2", "bert"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.outcome, "cache_hit");
+  // The modeled result is the cached one, bit for bit.
+  EXPECT_EQ(second.estimate.time_us, first.estimate.time_us);
+  EXPECT_EQ(second.tuning_seconds, first.tuning_seconds);
+
+  ServeServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.coalesced, 0);
+}
+
+TEST(ServeTest, StormCoalescesOntoOneCompile) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  options.per_client_inflight = 64;
+  ServeServer server(options);
+
+  // 8 clients storm the same model while the job gate is closed, plus one
+  // distinct model that must NOT coalesce with them.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(Request("storm-" + std::to_string(i), "t5",
+                                            "client-" + std::to_string(i))));
+  }
+  futures.push_back(server.Submit(Request("other", "vit")));
+
+  // Deterministic pre-compile assertions: one t5 job, one vit job, 7 riders.
+  EXPECT_EQ(server.inflight_jobs(), 2);
+  ServeServer::Stats admitted = server.stats();
+  EXPECT_EQ(admitted.submitted, 9);
+  EXPECT_EQ(admitted.coalesced, 7);
+
+  server.Resume();
+  int coalesced = 0;
+  int cold = 0;
+  for (std::future<ServeResponse>& f : futures) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    coalesced += response.coalesced ? 1 : 0;
+    cold += response.outcome == "cold" ? 1 : 0;
+  }
+  EXPECT_EQ(coalesced, 7);
+  // Every t5 waiter was answered by the single cold compile of its job.
+  EXPECT_EQ(cold, 9);
+
+  ServeServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.compiles, 2);  // exactly one compile per unique fingerprint
+  EXPECT_EQ(stats.completed, 9);
+}
+
+TEST(ServeTest, PerClientQuotaRejectsTheExcess) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  options.per_client_inflight = 2;
+  ServeServer server(options);
+
+  std::future<ServeResponse> first = server.Submit(Request("q1", "bert", "greedy"));
+  std::future<ServeResponse> second = server.Submit(Request("q2", "bert", "greedy"));
+  std::future<ServeResponse> third = server.Submit(Request("q3", "bert", "greedy"));
+  // A different client is not throttled by greedy's quota.
+  std::future<ServeResponse> polite = server.Submit(Request("q4", "bert", "polite"));
+
+  // The rejection is synchronous: the future is already resolved.
+  ASSERT_EQ(third.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ServeResponse rejected = third.get();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status, "RESOURCE_EXHAUSTED");
+
+  server.Resume();
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  EXPECT_TRUE(polite.get().ok());
+  EXPECT_EQ(server.stats().rejected_quota, 1);
+
+  // Quota slots were released on delivery: the client may come back.
+  ServeResponse retry = server.Handle(Request("q5", "bert", "greedy"));
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST(ServeTest, AdmissionQueueBoundRejectsNewJobs) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  options.max_inflight_jobs = 1;
+  ServeServer server(options);
+
+  std::future<ServeResponse> admitted = server.Submit(Request("a", "bert"));
+  // A coalescing rider adds no job, so it is still admitted...
+  std::future<ServeResponse> rider = server.Submit(Request("b", "bert", "other"));
+  // ...but a distinct compile is past the bound.
+  std::future<ServeResponse> overflow = server.Submit(Request("c", "llama2"));
+
+  ASSERT_EQ(overflow.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ServeResponse rejected = overflow.get();
+  EXPECT_EQ(rejected.status, "RESOURCE_EXHAUSTED");
+
+  server.Resume();
+  EXPECT_TRUE(admitted.get().ok());
+  EXPECT_TRUE(rider.get().ok());
+  EXPECT_EQ(server.stats().rejected_queue, 1);
+}
+
+TEST(ServeTest, ExpiredDeadlineSkipsTheCompileAndPoisonsNothing) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  ServeServer server(options);
+
+  std::future<ServeResponse> doomed =
+      server.Submit(Request("d1", "bert", "test", /*deadline_ms=*/1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+
+  ServeResponse response = doomed.get();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status, "DEADLINE_EXCEEDED");
+
+  ServeServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.compile_skipped, 1);
+  EXPECT_EQ(stats.compiles, 0);
+  // Nothing reached the engine: no cache entry, no counted traffic.
+  EXPECT_EQ(server.engine().program_cache_size(), 0);
+
+  // And the model still compiles cold afterwards — the cache was not
+  // poisoned with an aborted entry.
+  ServeResponse retry = server.Handle(Request("d2", "bert"));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.outcome, "cold");
+}
+
+TEST(ServeTest, ExpiredRiderDoesNotStarveItsJob) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  ServeServer server(options);
+
+  std::future<ServeResponse> patient = server.Submit(Request("p", "bert", "patient"));
+  std::future<ServeResponse> hurried =
+      server.Submit(Request("h", "bert", "hurried", /*deadline_ms=*/1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+
+  ServeResponse ok = patient.get();
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.outcome, "cold");
+  EXPECT_EQ(hurried.get().status, "DEADLINE_EXCEEDED");
+
+  // The compile the patient waiter kept alive is cached for everyone.
+  EXPECT_EQ(server.Handle(Request("p2", "bert")).outcome, "cache_hit");
+  ServeServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.compiles, 2);
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.compile_skipped, 0);
+}
+
+TEST(ServeTest, BadRequestsFailFast) {
+  ServeServer server(Options());
+  ServeResponse bad_model = server.Handle(Request("x", "resnet"));
+  EXPECT_EQ(bad_model.status, "INVALID_ARGUMENT");
+  ServeRequest bad_arch = Request("y", "bert");
+  bad_arch.arch = "tpu";
+  EXPECT_EQ(server.Handle(bad_arch).status, "INVALID_ARGUMENT");
+  EXPECT_EQ(server.stats().failed, 2);
+  EXPECT_EQ(server.stats().compiles, 0);
+}
+
+TEST(ServeTest, ShutdownDeliversEveryAdmittedResponse) {
+  std::vector<std::future<ServeResponse>> futures;
+  {
+    ServeServerOptions options = Options();
+    options.start_paused = true;
+    ServeServer server(options);
+    futures.push_back(server.Submit(Request("s1", "bert", "a")));
+    futures.push_back(server.Submit(Request("s2", "bert", "b")));
+    futures.push_back(server.Submit(Request("s3", "vit", "c")));
+    // Destroyed while paused: the destructor resumes and drains.
+  }
+  for (std::future<ServeResponse>& f : futures) {
+    ServeResponse response = f.get();  // a broken promise would throw here
+    EXPECT_TRUE(response.ok()) << response.error;
+  }
+}
+
+TEST(ServeTest, RestartServesBitIdenticalPersistentHits) {
+  const std::string cache_dir = testing::TempDir() + "/sf_serve_restart_cache";
+  std::filesystem::remove_all(cache_dir);
+  const std::vector<std::string> models = {"bert", "albert", "t5", "vit", "llama2"};
+
+  std::vector<ServeResponse> cold;
+  {
+    ServeServerOptions options = Options();
+    options.cache_dir = cache_dir;
+    ServeServer server(options);
+    for (const std::string& model : models) {
+      ServeResponse response = server.Handle(Request("cold-" + model, model));
+      ASSERT_TRUE(response.ok()) << response.error;
+      cold.push_back(response);
+    }
+  }  // kill the daemon
+
+  ServeServerOptions options = Options();
+  options.cache_dir = cache_dir;
+  ServeServer restarted(options);
+  for (size_t i = 0; i < models.size(); ++i) {
+    ServeResponse warm = restarted.Handle(Request("warm-" + models[i], models[i]));
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    // Albert shares Bert's subprogram structure, so once Bert's entries are
+    // warmed into memory Albert is an in-memory hit; every other model must
+    // come straight from disk. Nothing may compile cold.
+    EXPECT_NE(warm.outcome, "cold") << models[i];
+    if (models[i] != "albert") {
+      EXPECT_EQ(warm.outcome, "persistent_hit") << models[i];
+    }
+    // Bit-identical modeled results across the restart (exact double
+    // equality, no tolerance).
+    EXPECT_EQ(warm.estimate.time_us, cold[i].estimate.time_us) << models[i];
+    EXPECT_EQ(warm.estimate.flops, cold[i].estimate.flops);
+    EXPECT_EQ(warm.estimate.dram_bytes, cold[i].estimate.dram_bytes);
+    EXPECT_EQ(warm.tuning_seconds, cold[i].tuning_seconds) << models[i];
+    EXPECT_EQ(warm.unique_subprograms, cold[i].unique_subprograms);
+    EXPECT_EQ(warm.cache_hits, cold[i].cache_hits);
+  }
+  // Every unique subprogram came from disk, none from a fresh compile.
+  CompilerEngine::CacheStats engine_stats = restarted.engine().cache_stats();
+  EXPECT_GT(engine_stats.persistent_hits, 0);
+  EXPECT_EQ(engine_stats.misses, engine_stats.persistent_hits);
+  EXPECT_EQ(engine_stats.persistent_stale, 0);
+  EXPECT_EQ(engine_stats.persistent_corrupt, 0);
+}
+
+TEST(ServeTest, CorruptCacheEntriesFallBackToColdCompiles) {
+  const std::string cache_dir = testing::TempDir() + "/sf_serve_corrupt_cache";
+  std::filesystem::remove_all(cache_dir);
+  ServeServerOptions options = Options();
+  options.cache_dir = cache_dir;
+  ServeResponse cold;
+  {
+    ServeServer server(options);
+    cold = server.Handle(Request("c", "bert"));
+    ASSERT_TRUE(cold.ok());
+  }
+  // Vandalize every persisted entry.
+  for (const std::string& name : ListDirectory(cache_dir)) {
+    ASSERT_TRUE(AtomicWriteFile(cache_dir + "/" + name, "vandalized").ok());
+  }
+  ServeServer restarted(options);
+  ServeResponse warm = restarted.Handle(Request("w", "bert"));
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.outcome, "cold");  // fell back, did not crash or mis-serve
+  EXPECT_EQ(warm.estimate.time_us, cold.estimate.time_us);
+  EXPECT_GT(restarted.engine().cache_stats().persistent_corrupt, 0);
+}
+
+}  // namespace
+}  // namespace spacefusion

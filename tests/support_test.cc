@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <future>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/support/binary_io.h"
+#include "src/support/file_util.h"
 #include "src/support/logging.h"
 #include "src/support/math_util.h"
 #include "src/support/status.h"
@@ -40,6 +45,15 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "UNSUPPORTED");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(StatusTest, ServingHelpersCarryTheirCodes) {
+  EXPECT_EQ(DeadlineExceeded("too slow").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhausted("quota").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(DataLoss("bad blob").code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -351,6 +365,163 @@ TEST(ThreadPoolTest, ResetGlobalThreadPoolHonorsJobOverride) {
   EXPECT_EQ(GlobalThreadPool().workers(), 0);  // jobs=1 is exactly serial
   ResetGlobalThreadPool();
   EXPECT_EQ(GlobalThreadPool().concurrency(), DefaultJobCount());
+}
+
+// ---------------------------------------------------------------------------
+// AtomicWriteFile: the write-tmp-then-rename discipline shared by the report
+// sink and the persistent program cache. The invariant under test: a file
+// that exists at the final path is complete — a reader can never load a
+// partial write.
+
+TEST(FileUtilTest, AtomicWriteRoundTripsAndCreatesParents) {
+  const std::string dir = testing::TempDir() + "/sf_file_util/nested/deeper";
+  std::filesystem::remove_all(testing::TempDir() + "/sf_file_util");
+  const std::string path = dir + "/entry.bin";
+  const std::string payload("binary\0payload\n", 15);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  StatusOr<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+
+  // Overwrite replaces atomically and leaves no temp residue behind.
+  ASSERT_TRUE(AtomicWriteFile(path, "v2").ok());
+  EXPECT_EQ(*ReadFileToString(path), "v2");
+  EXPECT_EQ(ListDirectory(dir), std::vector<std::string>{"entry.bin"});
+}
+
+TEST(FileUtilTest, SimulatedPartialWriteIsNeverLoaded) {
+  const std::string dir = testing::TempDir() + "/sf_file_util_partial";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/entry.bin";
+  // A writer that crashed mid-write leaves only a "<name>.tmp.<pid>.<seq>"
+  // torso. Simulate one: the final path must stay invisible to readers.
+  ASSERT_TRUE(AtomicWriteFile(dir + "/placeholder", "").ok());  // create dir
+  {
+    std::FILE* f = std::fopen((path + ".tmp.12345.0").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torso of an interrupted wr", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadFileToString(path).status().code(), StatusCode::kNotFound);
+
+  // A later complete write wins, and the stale torso stays inert.
+  ASSERT_TRUE(AtomicWriteFile(path, "complete").ok());
+  EXPECT_EQ(*ReadFileToString(path), "complete");
+}
+
+TEST(FileUtilTest, FailedWriteLeavesTheTargetUntouched) {
+  const std::string dir = testing::TempDir() + "/sf_file_util_fail";
+  std::filesystem::remove_all(dir);
+  const std::string blocker = dir + "/blocker";
+  ASSERT_TRUE(AtomicWriteFile(blocker, "intact").ok());
+  // blocker is a regular file, so nothing can be written "inside" it.
+  EXPECT_FALSE(AtomicWriteFile(blocker + "/child", "x").ok());
+  EXPECT_EQ(*ReadFileToString(blocker), "intact");
+}
+
+TEST(FileUtilTest, ListDirectorySortsAndSkipsMissing) {
+  const std::string dir = testing::TempDir() + "/sf_file_util_list";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(AtomicWriteFile(dir + "/b", "1").ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/a", "2").ok());
+  EXPECT_EQ(ListDirectory(dir), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(ListDirectory(dir + "/no_such_dir").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding: bit-exact doubles and a reader that treats its input as
+// hostile.
+
+TEST(BinaryIoTest, ScalarsRoundTripBitExactly) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.Bool(true);
+  w.U32(0xdeadbeef);
+  w.I64(-42);
+  w.F64(0.1);     // not representable exactly in decimal
+  w.F64(-0.0);    // sign bit must survive
+  w.F64(5e-324);  // smallest denormal
+  w.Str("schedule");
+  const std::string bytes = w.bytes();
+
+  ByteReader r(bytes);
+  std::uint8_t u8 = 0;
+  bool b = false;
+  std::uint32_t u32 = 0;
+  std::int64_t i64 = 0;
+  double d1 = 0, d2 = 0, d3 = 0;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8).ok());
+  ASSERT_TRUE(r.Bool(&b).ok());
+  ASSERT_TRUE(r.U32(&u32).ok());
+  ASSERT_TRUE(r.I64(&i64).ok());
+  ASSERT_TRUE(r.F64(&d1).ok());
+  ASSERT_TRUE(r.F64(&d2).ok());
+  ASSERT_TRUE(r.F64(&d3).ok());
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d1, 0.1);
+  EXPECT_TRUE(std::signbit(d2));
+  EXPECT_EQ(d3, 5e-324);
+  EXPECT_EQ(s, "schedule");
+}
+
+TEST(BinaryIoTest, EveryTruncationFailsCleanly) {
+  ByteWriter w;
+  w.U64(7);
+  w.Str("hello");
+  w.I64Vec({1, 2, 3});
+  const std::string bytes = w.bytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::string cut = bytes.substr(0, len);
+    ByteReader r(cut);
+    std::uint64_t u = 0;
+    std::string s;
+    std::vector<std::int64_t> v;
+    // Some prefix of the reads fails; none may crash or read past the end.
+    Status st = r.U64(&u);
+    if (st.ok()) {
+      st = r.Str(&s);
+    }
+    if (st.ok()) {
+      st = r.I64Vec(&v);
+    }
+    EXPECT_FALSE(st.ok()) << "length " << len;
+  }
+}
+
+TEST(BinaryIoTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  // A corrupted count claiming 2^60 elements must fail the remaining-bytes
+  // check instead of trying to reserve exabytes.
+  ByteWriter w;
+  w.U64(1ULL << 60);
+  const std::string bytes = w.bytes();
+  ByteReader r(bytes);
+  std::vector<std::int64_t> v;
+  EXPECT_FALSE(r.I64Vec(&v).ok());
+  EXPECT_TRUE(v.empty());
+
+  ByteReader r2(bytes);
+  std::string s;
+  EXPECT_FALSE(r2.Str(&s).ok());
+}
+
+TEST(BinaryIoTest, NonCanonicalBoolByteIsRejected) {
+  // Canonical serialization admits exactly one encoding per value.
+  std::string two("\x02", 1);
+  ByteReader r(two);
+  bool b = false;
+  EXPECT_FALSE(r.Bool(&b).ok());
+}
+
+TEST(BinaryIoTest, Fnv1a64MatchesReferenceVectors) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// sf-client: command-line client for the sf-serve compile daemon.
+//
+// Connects to an sf-serve AF_UNIX socket and drives NDJSON compile requests
+// through it. One connection per worker thread, so a --threads storm
+// exercises the daemon's request coalescing: every thread asks for the same
+// model at once and the responses show how many rode along on a single
+// compile.
+//
+//   sf-client --socket /tmp/sf-serve.sock --model bert
+//   sf-client --socket /tmp/sf-serve.sock --model all --json
+//   sf-client --socket /tmp/sf-serve.sock --model t5 --threads 8 --count 4
+//   sf-client --socket /tmp/sf-serve.sock --shutdown
+//
+// Exit status is 0 only if every request got an ok response.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: sf-client --socket PATH [options]\n"
+         "\n"
+         "  --socket PATH     sf-serve AF_UNIX socket to connect to\n"
+         "  --model NAME      bert|albert|t5|vit|llama2|all (default: all)\n"
+         "  --batch N         batch size (default: 1)\n"
+         "  --seq N           sequence length (default: 128)\n"
+         "  --arch NAME       v100|a100|h100 (default: a100)\n"
+         "  --client NAME     client id for the daemon's per-client quota\n"
+         "  --deadline-ms N   per-request deadline (default: none)\n"
+         "  --threads N       concurrent connections (default: 1)\n"
+         "  --count N         requests per thread per model (default: 1)\n"
+         "  --retry-ms N      keep retrying the connect for N ms (default: 5000)\n"
+         "  --json            print raw response lines instead of a summary\n"
+         "  --shutdown        send a shutdown request and exit\n";
+  return 2;
+}
+
+// Connects with retries so "start daemon & run client" scripts need no
+// explicit synchronization on the socket appearing.
+int ConnectWithRetry(const std::string& path, int retry_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "sf-client: socket path too long: " << path << "\n";
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::cerr << "sf-client: socket(): " << std::strerror(errno) << "\n";
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= give_up) {
+      std::cerr << "sf-client: cannot connect to " << path << ": " << std::strerror(errno)
+                << "\n";
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+struct ClientConfig {
+  std::string socket_path;
+  std::vector<std::string> models;
+  int batch = 1;
+  int seq = 128;
+  std::string arch = "a100";
+  std::string client = "sf-client";
+  std::int64_t deadline_ms = 0;
+  int threads = 1;
+  int count = 1;
+  int retry_ms = 5000;
+  bool json = false;
+};
+
+struct Tally {
+  std::mutex mu;
+  int sent = 0;
+  int ok = 0;
+  int coalesced = 0;
+  int failed = 0;
+};
+
+void RunThread(const ClientConfig& config, int thread_index, Tally* tally) {
+  const int fd = ConnectWithRetry(config.socket_path, config.retry_ms);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(tally->mu);
+    tally->failed += config.count * static_cast<int>(config.models.size());
+    return;
+  }
+  std::string buffer;
+  for (int i = 0; i < config.count; ++i) {
+    for (const std::string& model : config.models) {
+      ServeRequest request;
+      request.id = StrCat("t", thread_index, "-", model, "-", i);
+      request.client = config.client;
+      request.model = model;
+      request.batch = config.batch;
+      request.seq = config.seq;
+      request.arch = config.arch;
+      request.deadline_ms = config.deadline_ms;
+      {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->sent;
+      }
+      std::string line;
+      if (!SendLine(fd, ServeRequestToJson(request)) || !ReadLine(fd, &buffer, &line)) {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->failed;
+        std::cerr << "sf-client: connection lost on request " << request.id << "\n";
+        ::close(fd);
+        return;
+      }
+      StatusOr<ServeResponse> response = ServeResponseFromJson(line);
+      std::lock_guard<std::mutex> lock(tally->mu);
+      if (!response.ok()) {
+        ++tally->failed;
+        std::cerr << "sf-client: unparsable response: " << line << "\n";
+        continue;
+      }
+      if (response->ok()) {
+        ++tally->ok;
+        if (response->coalesced) {
+          ++tally->coalesced;
+        }
+      } else {
+        ++tally->failed;
+      }
+      if (config.json) {
+        std::cout << line << "\n";
+      } else if (response->ok()) {
+        std::printf("%-10s %-16s outcome=%-14s coalesced=%d time_us=%.3f wall_ms=%.2f\n",
+                    request.id.c_str(), response->model.c_str(), response->outcome.c_str(),
+                    response->coalesced ? 1 : 0, response->estimate.time_us,
+                    response->wall_ms);
+      } else {
+        std::printf("%-10s %-16s %s: %s\n", request.id.c_str(), model.c_str(),
+                    response->status.c_str(), response->error.c_str());
+      }
+    }
+  }
+  ::close(fd);
+}
+
+int SendShutdown(const ClientConfig& config) {
+  const int fd = ConnectWithRetry(config.socket_path, config.retry_ms);
+  if (fd < 0) {
+    return 1;
+  }
+  std::string buffer;
+  std::string line;
+  const bool ok = SendLine(fd, "{\"id\":\"shutdown\",\"model\":\"shutdown\"}") &&
+                  ReadLine(fd, &buffer, &line);
+  ::close(fd);
+  if (!ok) {
+    std::cerr << "sf-client: shutdown request got no reply\n";
+    return 1;
+  }
+  if (config.json) {
+    std::cout << line << "\n";
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  ClientConfig config;
+  std::string model = "all";
+  bool shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      config.json = true;
+      continue;
+    }
+    if (flag == "--shutdown") {
+      shutdown = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Usage();
+    }
+    const std::string value = argv[++i];
+    if (flag == "--socket") {
+      config.socket_path = value;
+    } else if (flag == "--model") {
+      model = value;
+    } else if (flag == "--batch") {
+      config.batch = std::atoi(value.c_str());
+    } else if (flag == "--seq") {
+      config.seq = std::atoi(value.c_str());
+    } else if (flag == "--arch") {
+      config.arch = value;
+    } else if (flag == "--client") {
+      config.client = value;
+    } else if (flag == "--deadline-ms") {
+      config.deadline_ms = std::atoll(value.c_str());
+    } else if (flag == "--threads") {
+      config.threads = std::atoi(value.c_str());
+    } else if (flag == "--count") {
+      config.count = std::atoi(value.c_str());
+    } else if (flag == "--retry-ms") {
+      config.retry_ms = std::atoi(value.c_str());
+    } else {
+      return Usage();
+    }
+  }
+  if (config.socket_path.empty() || config.threads < 1 || config.count < 1 ||
+      config.batch < 1 || config.seq < 1) {
+    return Usage();
+  }
+  if (shutdown) {
+    return SendShutdown(config);
+  }
+  if (model == "all") {
+    config.models = {"bert", "albert", "t5", "vit", "llama2"};
+  } else {
+    config.models = {model};
+  }
+
+  Tally tally;
+  std::vector<std::thread> threads;
+  threads.reserve(config.threads);
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back(RunThread, std::cref(config), t, &tally);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  if (!config.json) {
+    std::printf("sf-client: %d sent, %d ok (%d coalesced), %d failed\n", tally.sent, tally.ok,
+                tally.coalesced, tally.failed);
+  }
+  return tally.failed == 0 && tally.sent > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) {
+  spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
+  return spacefusion::Run(argc, argv);
+}
