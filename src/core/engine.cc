@@ -150,7 +150,7 @@ std::uint64_t CompilerEngine::Fingerprint(const Graph& graph) const {
 }
 
 CostCache* CompilerEngine::CostCacheFor(std::uint64_t digest) {
-  std::lock_guard<std::mutex> lock(cost_caches_mu_);
+  MutexLock lock(cost_caches_mu_);
   std::unique_ptr<CostCache>& cache = cost_caches_[digest];
   if (cache == nullptr) {
     cache = std::make_unique<CostCache>();
@@ -219,7 +219,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
     bool collided = false;
     CompiledSubprogram cached;
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      MutexLock lock(cache_mu_);
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         for (const CacheEntry& entry : it->second) {
@@ -280,7 +280,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
       switch (loaded) {
         case PersistentProgramCache::LoadResult::kHit: {
           {
-            std::lock_guard<std::mutex> lock(cache_mu_);
+            MutexLock lock(cache_mu_);
             ++stats_.persistent_hits;
             std::vector<CacheEntry>& bucket = cache_[key];
             bool present = false;
@@ -311,7 +311,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
           // Options or code drifted since the entry was written: by design a
           // silent cold fallback, never an error surfaced to the caller.
           {
-            std::lock_guard<std::mutex> lock(cache_mu_);
+            MutexLock lock(cache_mu_);
             ++stats_.persistent_stale;
           }
           SF_COUNTER_ADD("engine.cache.persistent_stale", 1);
@@ -321,7 +321,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
         }
         case PersistentProgramCache::LoadResult::kCorrupt: {
           {
-            std::lock_guard<std::mutex> lock(cache_mu_);
+            MutexLock lock(cache_mu_);
             ++stats_.persistent_corrupt;
           }
           SF_COUNTER_ADD("engine.cache.persistent_corrupt", 1);
@@ -335,7 +335,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
       }
     }
   } else {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     ++stats_.misses;
     SF_COUNTER_ADD("engine.cache.misses", 1);
     SF_COUNTER_ADD("compiler.cache_misses", 1);
@@ -360,17 +360,40 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
   report->outcome = "cold";
 
   if (persistent_ != nullptr) {
-    // Best effort: a full disk or unwritable directory costs persistence,
-    // never the compile result.
-    Status stored = persistent_->Store(fingerprint, digest, options.arch.name, canonical, result);
-    if (stored.ok()) {
-      SF_COUNTER_ADD("engine.cache.persistent_stores", 1);
+    // Admission gate: a racy program must never be persisted — a later
+    // daemon would serve it without recompiling, so disk is where a bad
+    // schedule would outlive the compiler bug that produced it. The result
+    // is still returned to the caller (the Analyze pass owns failing the
+    // compile; here only persistence is refused).
+    DiagnosticReport admission = options_.admission_analysis
+                                     ? options_.admission_analysis(result.program, graph)
+                                     : AnalyzeCompiledProgram(result.program, graph);
+    if (!admission.ok()) {
+      {
+        MutexLock lock(cache_mu_);
+        ++stats_.analysis_rejected;
+      }
+      SF_COUNTER_ADD("engine.cache.analysis_rejected", 1);
+      SF_LOG(Warning) << "racy schedule not persisted (" << admission.error_count()
+                      << " SFV06xx finding(s)): " << admission.ToString();
+      FlightRecorder::Global().Record(
+          report->request_id, "engine",
+          StrCat("persistence refused: race analysis reported ", admission.error_count(),
+                 " finding(s)"));
     } else {
-      SF_LOG(Warning) << "persistent cache store failed: " << stored.ToString();
+      // Best effort: a full disk or unwritable directory costs persistence,
+      // never the compile result.
+      Status stored =
+          persistent_->Store(fingerprint, digest, options.arch.name, canonical, result);
+      if (stored.ok()) {
+        SF_COUNTER_ADD("engine.cache.persistent_stores", 1);
+      } else {
+        SF_LOG(Warning) << "persistent cache store failed: " << stored.ToString();
+      }
     }
   }
   if (options_.enable_program_cache) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     std::vector<CacheEntry>& bucket = cache_[key];
     bool present = false;
     for (const CacheEntry& entry : bucket) {
@@ -529,12 +552,12 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
 }
 
 CompilerEngine::CacheStats CompilerEngine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return stats_;
 }
 
 std::int64_t CompilerEngine::program_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   std::int64_t n = 0;
   for (const auto& [key, bucket] : cache_) {
     n += static_cast<std::int64_t>(bucket.size());

@@ -21,7 +21,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "src/obs/report.h"
 #include "src/pass/pass.h"
 #include "src/sim/cost_cache.h"
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -58,6 +58,12 @@ struct EngineOptions {
   // Graph::StructuralHash; tests override it to force collisions onto the
   // canonical-form comparison path.
   std::function<std::uint64_t(const Graph&)> fingerprint_fn;
+  // Race analysis run on every cold compile before it is admitted into the
+  // persistent cache (src/analysis): a program with SFV06xx findings is
+  // never stored (engine.cache.analysis_rejected), so a restarted daemon
+  // cannot warm-serve a racy schedule. Defaults to AnalyzeCompiledProgram;
+  // tests override it to force rejections.
+  std::function<DiagnosticReport(const ScheduledProgram&, const Graph&)> admission_analysis;
   // Receives the CompileReport of every finished request (cold, cache hit,
   // or failed). Non-owning; must outlive the engine and be thread-safe.
   // Independent of (and in addition to) the SPACEFUSION_REPORT_DIR sink.
@@ -83,6 +89,7 @@ class CompilerEngine {
     std::int64_t persistent_hits = 0;     // served from disk, no compile ran
     std::int64_t persistent_stale = 0;    // entry decoded but keys mismatched
     std::int64_t persistent_corrupt = 0;  // entry failed checksum/validation
+    std::int64_t analysis_rejected = 0;   // race analysis refused persistence
   };
 
   explicit CompilerEngine(EngineOptions options);
@@ -143,12 +150,12 @@ class CompilerEngine {
   // Null unless options_.cache_dir names a directory.
   std::unique_ptr<PersistentProgramCache> persistent_;
 
-  mutable std::mutex cache_mu_;
-  std::map<std::uint64_t, std::vector<CacheEntry>> cache_;
-  CacheStats stats_;
+  mutable Mutex cache_mu_;
+  std::map<std::uint64_t, std::vector<CacheEntry>> cache_ SF_GUARDED_BY(cache_mu_);
+  CacheStats stats_ SF_GUARDED_BY(cache_mu_);
 
-  std::mutex cost_caches_mu_;
-  std::map<std::uint64_t, std::unique_ptr<CostCache>> cost_caches_;
+  Mutex cost_caches_mu_;
+  std::map<std::uint64_t, std::unique_ptr<CostCache>> cost_caches_ SF_GUARDED_BY(cost_caches_mu_);
 
   FusionPatternRecorder fusion_;
 };

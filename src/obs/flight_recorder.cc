@@ -32,14 +32,19 @@ FlightRecorder& FlightRecorder::Global() {
 
 void FlightRecorder::Record(std::string request_id, std::string category, std::string message) {
   FlightEvent event;
-  event.elapsed_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
-          .count();
   event.request_id = std::move(request_id);
   event.category = std::move(category);
   event.message = std::move(message);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  // Timestamp under the lock, where the seq is assigned: stamping it before
+  // acquisition let two racing Record calls commit with seq order inverted
+  // relative to elapsed_ms order, so a rendered log could appear to travel
+  // back in time. Inside the critical section both are assigned atomically,
+  // making elapsed_ms non-decreasing in seq.
+  event.elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+          .count();
   event.seq = next_seq_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -50,8 +55,7 @@ void FlightRecorder::Record(std::string request_id, std::string category, std::s
   ++next_seq_;
 }
 
-std::vector<FlightEvent> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<FlightEvent> FlightRecorder::SnapshotLocked() const {
   std::vector<FlightEvent> out;
   out.reserve(ring_.size());
   for (std::int64_t seq = base_seq_; seq < next_seq_; ++seq) {
@@ -60,21 +64,34 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   return out;
 }
 
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  return SnapshotLocked();
+}
+
 std::int64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return base_seq_;
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_seq_ = 0;
   base_seq_ = 0;
 }
 
 std::string FlightRecorder::Render() const {
-  std::vector<FlightEvent> events = Snapshot();
-  std::int64_t n_dropped = dropped();
+  // One critical section: snapshotting and reading the drop count under
+  // separate acquisitions let a concurrent Record slip in between, so the
+  // header could claim a drop count inconsistent with the listed events.
+  std::vector<FlightEvent> events;
+  std::int64_t n_dropped = 0;
+  {
+    MutexLock lock(mu_);
+    events = SnapshotLocked();
+    n_dropped = base_seq_;
+  }
   std::string out =
       StrCat("flight recorder: ", events.size(), " event(s)",
              n_dropped > 0 ? StrCat(" (", n_dropped, " older event(s) overwritten)") : "", "\n");

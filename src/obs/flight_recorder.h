@@ -14,9 +14,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -59,12 +60,14 @@ class FlightRecorder {
   void DumpToFailureLog(const std::string& request_id, const std::string& reason) const;
 
  private:
+  std::vector<FlightEvent> SnapshotLocked() const SF_REQUIRES(mu_);
+
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<FlightEvent> ring_;   // ring_[seq % capacity_]
-  std::int64_t next_seq_ = 0;
-  std::int64_t base_seq_ = 0;       // seq of the oldest retained event
-  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mu_;
+  std::vector<FlightEvent> ring_ SF_GUARDED_BY(mu_);  // ring_[seq % capacity_]
+  std::int64_t next_seq_ SF_GUARDED_BY(mu_) = 0;
+  std::int64_t base_seq_ SF_GUARDED_BY(mu_) = 0;  // seq of oldest retained event
+  const std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace spacefusion

@@ -33,7 +33,7 @@ void Histogram::Observe(double value) {
   if (!std::isfinite(value)) {
     return;  // NaN/Inf would poison sum, min/max, and have no bucket
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stats_.bucket_counts.empty()) {
     stats_.bucket_counts.assign(kNumBuckets, 0);
   }
@@ -49,7 +49,7 @@ void Histogram::Observe(double value) {
 }
 
 HistogramStats Histogram::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramStats copy = stats_;
   if (copy.bucket_counts.empty()) {
     copy.bucket_counts.assign(kNumBuckets, 0);
@@ -58,7 +58,7 @@ HistogramStats Histogram::stats() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = HistogramStats();
 }
 
@@ -271,8 +271,8 @@ std::string LabeledMetricName(const std::string& base, const std::string& label_
 
 namespace obs_internal {
 
-std::shared_mutex& ObsStateMutex() {
-  static std::shared_mutex* mu = new std::shared_mutex();  // leaked: usable at exit
+SharedMutex& ObsStateMutex() {
+  static SharedMutex* mu = new SharedMutex();  // leaked: usable at exit
   return *mu;
 }
 
@@ -289,7 +289,7 @@ void MetricsRegistry::CheckKind(const std::string& name, Kind kind) {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CheckKind(name, Kind::kCounter);
   auto& slot = counters_[name];
   if (slot == nullptr) {
@@ -299,7 +299,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CheckKind(name, Kind::kGauge);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
@@ -309,7 +309,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CheckKind(name, Kind::kHistogram);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
@@ -319,7 +319,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace(name, counter->value());
@@ -335,9 +335,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   // Exclusive against ObsCompileLock holders: wait out in-flight compiles so
-  // no request sees a half-zeroed registry.
-  std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
-  std::lock_guard<std::mutex> lock(mu_);
+  // no request sees a half-zeroed registry. Lock order: obs mutex before the
+  // registry's own mu_ (TraceSession start/stop uses the same order).
+  WriterMutexLock obs_lock(obs_internal::ObsStateMutex());
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }

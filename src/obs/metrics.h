@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -82,8 +82,8 @@ class Histogram {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  HistogramStats stats_;
+  mutable Mutex mu_;
+  HistogramStats stats_ SF_GUARDED_BY(mu_);
 };
 
 // A frozen copy of every registered metric.
@@ -142,13 +142,13 @@ class MetricsRegistry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  void CheckKind(const std::string& name, Kind kind);
+  void CheckKind(const std::string& name, Kind kind) SF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Kind> kinds_ SF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ SF_GUARDED_BY(mu_);
 };
 
 namespace obs_internal {
@@ -158,23 +158,24 @@ namespace obs_internal {
 // compiles. Compiles take the shared side via ObsCompileLock; the mutators
 // take the exclusive side internally. Leaked, like the registries, so it is
 // usable during static destruction.
-std::shared_mutex& ObsStateMutex();
+SharedMutex& ObsStateMutex();
 
 }  // namespace obs_internal
 
 // Held (shared) by CompilerEngine for the duration of one uncached compile:
 // a concurrent MetricsRegistry::Reset() or TraceSession start/stop blocks
 // until the compile finishes instead of tearing its metrics/spans in half.
-// Not recursive — acquire once per compile request, never nested.
+// Not recursive — acquire once per compile request, never nested. Opaque to
+// thread-safety analysis: no data is SF_GUARDED_BY the obs mutex (it orders
+// whole-subsystem mutations, not field access), so the shared hold is not a
+// capability any caller needs to see.
 class ObsCompileLock {
  public:
-  ObsCompileLock() : lock_(obs_internal::ObsStateMutex()) {}
+  ObsCompileLock() SF_NO_THREAD_SAFETY_ANALYSIS { obs_internal::ObsStateMutex().lock_shared(); }
+  ~ObsCompileLock() SF_NO_THREAD_SAFETY_ANALYSIS { obs_internal::ObsStateMutex().unlock_shared(); }
 
   ObsCompileLock(const ObsCompileLock&) = delete;
   ObsCompileLock& operator=(const ObsCompileLock&) = delete;
-
- private:
-  std::shared_lock<std::shared_mutex> lock_;
 };
 
 }  // namespace spacefusion

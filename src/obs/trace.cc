@@ -2,12 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
-#include <shared_mutex>
 
 #include "src/obs/metrics.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -16,12 +15,12 @@ namespace {
 // Global capture state. Function-local statics keep initialization order
 // safe for the pre-main env bootstrap below.
 struct CaptureState {
-  std::mutex mu;
-  bool active = false;       // mirrored in g_trace_active for the hot path
-  bool env_started = false;  // active session came from SPACEFUSION_TRACE
-  std::string env_path;
-  std::chrono::steady_clock::time_point epoch;
-  std::vector<TraceEvent> events;
+  Mutex mu;
+  bool active SF_GUARDED_BY(mu) = false;  // mirrored in g_trace_active
+  bool env_started SF_GUARDED_BY(mu) = false;  // session from SPACEFUSION_TRACE
+  std::string env_path SF_GUARDED_BY(mu);
+  std::chrono::steady_clock::time_point epoch SF_GUARDED_BY(mu);
+  std::vector<TraceEvent> events SF_GUARDED_BY(mu);
 };
 
 CaptureState& State() {
@@ -73,7 +72,7 @@ std::string FormatDouble(double v) {
 // Starts capture into the global event store. Caller holds no locks.
 bool StartCapture() {
   CaptureState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (state.active) {
     return false;
   }
@@ -87,7 +86,7 @@ bool StartCapture() {
 
 std::vector<TraceEvent> StopCapture() {
   CaptureState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   obs_internal::g_trace_active.store(false, std::memory_order_relaxed);
   state.active = false;
   state.env_started = false;
@@ -141,7 +140,7 @@ void RecordSpan(const char* name, const char* cat,
   double dur_us = std::chrono::duration<double, std::micro>(end - start).count();
 
   for (PhaseAccumulator* acc = tl_accumulator; acc != nullptr; acc = acc->parent_) {
-    std::lock_guard<std::mutex> lock(acc->mu_);
+    MutexLock lock(acc->mu_);
     PhaseAccumulator::PhaseTotal& total = acc->totals_[name];
     total.total_ms += dur_us * 1e-3;
     ++total.count;
@@ -151,7 +150,7 @@ void RecordSpan(const char* name, const char* cat,
     return;
   }
   CaptureState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (!state.active) {
     return;  // session stopped between the check and the lock
   }
@@ -193,7 +192,7 @@ ScopedSpan& ScopedSpan::Arg(const char* key, const std::string& value) {
 TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
   // Exclusive against ObsCompileLock holders: starting capture mid-compile
   // would record a torn prefix of that request's spans.
-  std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
+  WriterMutexLock obs_lock(obs_internal::ObsStateMutex());
   SF_CHECK(StartCapture()) << "a trace session is already active";
 }
 
@@ -212,7 +211,7 @@ Status TraceSession::Stop() {
   {
     // Wait out in-flight compiles so a session never ends with half of a
     // request's spans captured and the rest dropped.
-    std::unique_lock<std::shared_mutex> obs_lock(obs_internal::ObsStateMutex());
+    WriterMutexLock obs_lock(obs_internal::ObsStateMutex());
     events_ = StopCapture();
   }
   if (path_.empty()) {
@@ -259,7 +258,7 @@ bool StartTraceFromEnv() {
     return false;
   }
   CaptureState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.env_started = true;
   state.env_path = path;
   return true;
@@ -269,7 +268,7 @@ Status FlushEnvTrace() {
   std::string path;
   {
     CaptureState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (!state.active || !state.env_started) {
       return Status::Ok();
     }
@@ -284,19 +283,19 @@ PhaseAccumulator::PhaseAccumulator() : parent_(tl_accumulator) { tl_accumulator 
 PhaseAccumulator::~PhaseAccumulator() { tl_accumulator = parent_; }
 
 double PhaseAccumulator::TotalMs(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = totals_.find(name);
   return it == totals_.end() ? 0.0 : it->second.total_ms;
 }
 
 std::int64_t PhaseAccumulator::SpanCount(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = totals_.find(name);
   return it == totals_.end() ? 0 : it->second.count;
 }
 
 std::map<std::string, double> PhaseAccumulator::AllTotalsMs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, total] : totals_) {
     out.emplace(name, total.total_ms);

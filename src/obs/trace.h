@@ -26,11 +26,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/support/status.h"
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -219,8 +219,8 @@ class PhaseAccumulator {
     double total_ms = 0.0;
     std::int64_t count = 0;
   };
-  mutable std::mutex mu_;
-  std::map<std::string, PhaseTotal> totals_;
+  mutable Mutex mu_;
+  std::map<std::string, PhaseTotal> totals_ SF_GUARDED_BY(mu_);
   PhaseAccumulator* parent_ = nullptr;  // next accumulator down the stack
 };
 

@@ -42,7 +42,7 @@ void FusionPatternRecorder::Record(const Graph& kernel_graph) {
     return;  // Table 6 counts fused subgraphs with >= 2 All-to-Ones
   }
   std::uint64_t topo = kernel_graph.TopologyHash();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (seen_patterns_.count(topo) > 0) {
     return;
   }
@@ -58,7 +58,7 @@ void FusionPatternRecorder::Record(const Graph& kernel_graph) {
 }
 
 FusionPatternStats FusionPatternRecorder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -17,10 +17,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/analysis/race_analyzer.h"
 #include "src/graph/graph.h"
 #include "src/schedule/memory_planner.h"
 #include "src/schedule/pipeline.h"
@@ -28,6 +28,7 @@
 #include "src/sim/cost_model.h"
 #include "src/smg/smg_builder.h"
 #include "src/support/status.h"
+#include "src/support/thread_annotations.h"
 #include "src/tuning/tuner.h"
 #include "src/verify/verifier.h"
 
@@ -46,6 +47,13 @@ struct CompileOptions {
   // kFull additionally checks every candidate program and enumerated
   // config. Defaults to SPACEFUSION_VERIFY from the environment, else phase.
   VerifyMode verify = VerifyModeFromEnv();
+  // Static race/alias analysis (src/analysis, SFV06xx) of the chosen
+  // program at compile exit. Always on under verify == kFull; kPhase runs
+  // it on every compile. Analysis never changes the compiled program, so
+  // this field is deliberately excluded from CompileOptionsDigest: cache
+  // keys are identical with the analyzer on or off. Defaults to
+  // SPACEFUSION_ANALYZE from the environment, else off.
+  AnalyzeMode analyze = AnalyzeModeFromEnv();
   SearchOptions search;
   TunerOptions tuner;
 
@@ -95,9 +103,9 @@ class FusionPatternRecorder {
   FusionPatternStats stats() const;
 
  private:
-  mutable std::mutex mu_;
-  FusionPatternStats stats_;
-  std::map<std::uint64_t, bool> seen_patterns_;
+  mutable Mutex mu_;
+  FusionPatternStats stats_ SF_GUARDED_BY(mu_);
+  std::map<std::uint64_t, bool> seen_patterns_ SF_GUARDED_BY(mu_);
 };
 
 // The artifact store passes read and write. Inputs (graph, options, cost

@@ -335,6 +335,27 @@ class EstimatePass : public Pass {
   }
 };
 
+// Static race/alias analysis (SFV06xx) of the chosen program: every pair of
+// blocks the schedule runs concurrently must have disjoint or write-free
+// footprints on shared buffers. Races in the tuned result are compiler bugs,
+// so findings fail the compile like a verifier violation would.
+class AnalyzePass : public Pass {
+ public:
+  const char* name() const override { return "Analyze"; }
+
+  Status Run(CompilationState* state) override {
+    SF_CHECK(state->have_best);
+    DiagnosticReport report = AnalyzeCompiledProgram(state->best.program, *state->graph);
+    if (!report.ok()) {
+      return report.ToStatus(StatusCode::kInternal);
+    }
+    for (const Diagnostic& d : report.diagnostics()) {
+      SF_LOG(Warning) << d.ToString();
+    }
+    return Status::Ok();
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Pass>> BuildCompilePassList(const CompileOptions& options) {
@@ -350,6 +371,9 @@ std::vector<std::unique_ptr<Pass>> BuildCompilePassList(const CompileOptions& op
   passes.push_back(std::make_unique<PlanMemoryPass>());
   passes.push_back(std::make_unique<LowerPass>());
   passes.push_back(std::make_unique<EstimatePass>());
+  if (options.analyze != AnalyzeMode::kOff || options.verify == VerifyMode::kFull) {
+    passes.push_back(std::make_unique<AnalyzePass>());
+  }
   return passes;
 }
 

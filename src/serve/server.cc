@@ -27,37 +27,42 @@ ServeServer::ServeServer(ServeServerOptions options) : options_(std::move(option
 
 ServeServer::~ServeServer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
     paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
   // ThreadPool's destructor drains its queue before joining, so every
   // admitted job still runs and every promise is fulfilled.
   pool_.reset();
 }
 
 void ServeServer::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   paused_ = true;
 }
 
 void ServeServer::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
 }
 
 ServeServer::Stats ServeServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::int64_t ServeServer::inflight_jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::int64_t>(jobs_.size());
+}
+
+std::int64_t ServeServer::tracked_clients() const {
+  MutexLock lock(mu_);
+  return static_cast<std::int64_t>(client_inflight_.size());
 }
 
 ServeResponse ServeServer::RejectedResponse(const ServeRequest& request, StatusCode code,
@@ -84,7 +89,7 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
   if (!kind.ok() || !arch.ok()) {
     const Status& bad = !kind.ok() ? kind.status() : arch.status();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.submitted;
       ++stats_.failed;
     }
@@ -121,9 +126,15 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
   const char* reject_metric = nullptr;
   ServeResponse rejection;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.submitted;
-    int& inflight = client_inflight_[request.client];
+    // Quota is read without inserting: client_inflight_[] here used to plant
+    // a zero entry for a first-time client even when the request was then
+    // rejected on the queue-full path below, and nothing ever erased it —
+    // the map grew by one dead entry per distinct rejected client. The
+    // count is incremented only on the two admission paths.
+    auto inflight_it = client_inflight_.find(request.client);
+    const int inflight = inflight_it == client_inflight_.end() ? 0 : inflight_it->second;
     if (inflight >= options_.per_client_inflight) {
       ++stats_.rejected_quota;
       reject_metric = "serve.rejected_quota";
@@ -133,7 +144,7 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
                  " request(s) in flight (limit ", options_.per_client_inflight, ")"));
     } else if (auto it = jobs_.find(key); it != jobs_.end()) {
       waiter.coalesced = true;
-      ++inflight;
+      ++client_inflight_[request.client];
       ++stats_.coalesced;
       SF_COUNTER_ADD("serve.coalesced", 1);
       it->second->waiters.push_back(std::move(waiter));
@@ -151,7 +162,7 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
       job->model = std::move(model);
       job->options = std::move(job_options);
       job->model_name = job->model.config.name;
-      ++inflight;
+      ++client_inflight_[request.client];
       job->waiters.push_back(std::move(waiter));
       jobs_.emplace(key, job);
       job_to_run = std::move(job);
@@ -168,7 +179,7 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
 
 void ServeServer::Deliver(Waiter* waiter, ServeResponse response) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = client_inflight_.find(waiter->client);
     if (it != client_inflight_.end() && --it->second <= 0) {
       client_inflight_.erase(it);
@@ -196,8 +207,10 @@ void ServeServer::RunJob(const std::shared_ptr<Job>& job) {
   std::vector<Waiter> expired;
   bool skip = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    pause_cv_.wait(lock, [this] { return !paused_ || shutting_down_; });
+    MutexLock lock(mu_);
+    while (paused_ && !shutting_down_) {
+      pause_cv_.Wait(mu_);
+    }
     const Clock::time_point now = Clock::now();
     std::vector<Waiter>& waiters = job->waiters;
     for (auto it = waiters.begin(); it != waiters.end();) {
@@ -234,7 +247,7 @@ void ServeServer::RunJob(const std::shared_ptr<Job>& job) {
 
   std::vector<Waiter> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     jobs_.erase(job->key);
     waiters = std::move(job->waiters);
   }

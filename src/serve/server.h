@@ -34,17 +34,16 @@
 #define SPACEFUSION_SRC_SERVE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/engine.h"
 #include "src/serve/protocol.h"
+#include "src/support/thread_annotations.h"
 #include "src/support/thread_pool.h"
 
 namespace spacefusion {
@@ -104,6 +103,10 @@ class ServeServer {
   Stats stats() const;
   // Jobs currently queued or running (coalesced waiters not counted).
   std::int64_t inflight_jobs() const;
+  // Clients with a live per-client quota entry. Rejected or finished
+  // clients are dropped from the map, so this stays bounded by the number
+  // of clients that currently have work in flight.
+  std::int64_t tracked_clients() const;
   CompilerEngine& engine() { return *engine_; }
 
  private:
@@ -136,13 +139,16 @@ class ServeServer {
   ServeServerOptions options_;
   std::unique_ptr<CompilerEngine> engine_;
 
-  mutable std::mutex mu_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
-  bool shutting_down_ = false;
-  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // keyed by Job::key
-  std::map<std::string, int> client_inflight_;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar pause_cv_;
+  bool paused_ SF_GUARDED_BY(mu_) = false;
+  bool shutting_down_ SF_GUARDED_BY(mu_) = false;
+  // Keyed by Job::key. Job::waiters is also guarded by mu_ (the annotation
+  // lives here because the analysis cannot name an owner's mutex from
+  // inside the nested struct).
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_ SF_GUARDED_BY(mu_);
+  std::map<std::string, int> client_inflight_ SF_GUARDED_BY(mu_);
+  Stats stats_ SF_GUARDED_BY(mu_);
 
   // Last: joined (and queue drained) before the members above die.
   std::unique_ptr<ThreadPool> pool_;

@@ -13,12 +13,12 @@ KernelCost CostCache::GetOrCompute(std::uint64_t kernel_sig, const std::string& 
   std::string key = std::to_string(kernel_sig) + "|" + config_key;
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       SF_COUNTER_ADD("cost_cache.hits", 1);
       {
-        std::lock_guard<std::mutex> slock(stats_mu_);
+        MutexLock slock(stats_mu_);
         ++stats_.hits;
       }
       return it->second;
@@ -29,26 +29,26 @@ KernelCost CostCache::GetOrCompute(std::uint64_t kernel_sig, const std::string& 
   // that happen to share a shard.
   KernelCost cost = eval();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.emplace(key, cost);
   }
   SF_COUNTER_ADD("cost_cache.misses", 1);
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.misses;
   }
   return cost;
 }
 
 CostCache::Stats CostCache::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 std::int64_t CostCache::size() const {
   std::int64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += static_cast<std::int64_t>(shard.map.size());
   }
   return total;

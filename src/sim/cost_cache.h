@@ -18,11 +18,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/sim/cost_model.h"
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -44,16 +44,16 @@ class CostCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, KernelCost> map;
+    mutable Mutex mu;
+    std::unordered_map<std::string, KernelCost> map SF_GUARDED_BY(mu);
   };
   static constexpr int kNumShards = 16;
 
   Shard& ShardFor(const std::string& key);
 
   Shard shards_[kNumShards];
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ SF_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace spacefusion

@@ -50,10 +50,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -64,8 +64,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // shutdown with a drained queue
       }
@@ -86,10 +88,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back([task] { (*task)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -110,10 +112,10 @@ void ThreadPool::ParallelFor(std::int64_t n,
     std::int64_t chunk = 0;
     std::int64_t n = 0;
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    int pending_tasks = 0;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done_cv;
+    int pending_tasks SF_GUARDED_BY(mu) = 0;
+    std::exception_ptr error SF_GUARDED_BY(mu);
   };
   auto state = std::make_shared<ForState>();
   state->chunk = std::max<std::int64_t>(1, n / (static_cast<std::int64_t>(concurrency()) * 4));
@@ -134,7 +136,7 @@ void ThreadPool::ParallelFor(std::int64_t n,
       try {
         (*s->fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mu);
+        MutexLock lock(s->mu);
         if (!s->error) {
           s->error = std::current_exception();
         }
@@ -146,25 +148,32 @@ void ThreadPool::ParallelFor(std::int64_t n,
   std::int64_t helper_tasks =
       std::min<std::int64_t>(workers(), std::max<std::int64_t>(0, state->total_chunks - 1));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    state->pending_tasks = static_cast<int>(helper_tasks);
+    // pending_tasks is written before any helper can run (the queue slots
+    // are filled under the pool lock) but is itself guarded by state->mu.
+    {
+      MutexLock slock(state->mu);
+      state->pending_tasks = static_cast<int>(helper_tasks);
+    }
+    MutexLock lock(mu_);
     for (std::int64_t i = 0; i < helper_tasks; ++i) {
       queue_.emplace_back([state, run_chunks] {
         run_chunks(state.get());
         {
-          std::lock_guard<std::mutex> slock(state->mu);
+          MutexLock slock(state->mu);
           --state->pending_tasks;
         }
-        state->done_cv.notify_one();
+        state->done_cv.NotifyOne();
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   run_chunks(state.get());
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] { return state->pending_tasks == 0; });
+    MutexLock lock(state->mu);
+    while (state->pending_tasks != 0) {
+      state->done_cv.Wait(state->mu);
+    }
     if (state->error) {
       std::rethrow_exception(state->error);
     }
@@ -173,8 +182,8 @@ void ThreadPool::ParallelFor(std::int64_t n,
 
 namespace {
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mu;
+Mutex& GlobalPoolMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -188,7 +197,7 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
 }  // namespace
 
 ThreadPool& GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
   if (slot == nullptr) {
     slot = std::make_unique<ThreadPool>(DefaultJobCount() - 1);
@@ -197,7 +206,7 @@ ThreadPool& GlobalThreadPool() {
 }
 
 void ResetGlobalThreadPool(int jobs) {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
   slot.reset();  // join the old workers before spawning replacements
   slot = std::make_unique<ThreadPool>((jobs > 0 ? jobs : DefaultJobCount()) - 1);

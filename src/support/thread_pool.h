@@ -15,14 +15,14 @@
 #ifndef SPACEFUSION_SRC_SUPPORT_THREAD_POOL_H_
 #define SPACEFUSION_SRC_SUPPORT_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/support/thread_annotations.h"
 
 namespace spacefusion {
 
@@ -67,11 +67,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SF_GUARDED_BY(mu_);
+  // Immutable after construction (workers() reads it without the lock).
   std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  bool shutdown_ SF_GUARDED_BY(mu_) = false;
 };
 
 // The process-wide pool, created on first use with DefaultJobCount() - 1

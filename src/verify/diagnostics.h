@@ -13,6 +13,7 @@
 //   SFV03xx  SliceVerifier       slicing decisions / dim coverage
 //   SFV04xx  ScheduleVerifier    inter-block dependency preservation
 //   SFV05xx  MemoryPlanVerifier  footprints and resource budgets
+//   SFV06xx  RaceAnalyzer        cross-block race / alias freedom
 #ifndef SPACEFUSION_SRC_VERIFY_DIAGNOSTICS_H_
 #define SPACEFUSION_SRC_VERIFY_DIAGNOSTICS_H_
 

@@ -4,6 +4,7 @@
 // requests against one engine.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <string>
@@ -508,6 +509,70 @@ TEST(EngineReportTest, ConcurrentRequestsGetCorrectlyAttributedReports) {
         snapshot.counter(LabeledMetricName("engine.cache.misses", "request_id", id)), 1)
         << id;
   }
+}
+
+// --- Persistent-cache admission (race analysis) ---------------------------
+
+// A program the race analyzer rejects must never reach the on-disk cache:
+// the compile itself still succeeds (the caller gets its program), but no
+// entry is written and the rejection is counted.
+TEST(EngineAdmissionTest, RacyProgramIsNeverPersisted) {
+  const std::string cache_dir = testing::TempDir() + "/sf_engine_admission_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  EngineOptions options{CompileOptions()};
+  options.cache_dir = cache_dir;
+  options.admission_analysis = [](const ScheduledProgram&, const Graph& graph) {
+    DiagnosticReport report;
+    report.AddError("SFV0601", "race", graph.name(), "injected write-write race");
+    return report;
+  };
+  CompilerEngine engine(std::move(options));
+
+  StatusOr<CompiledSubprogram> compiled = engine.Compile(BuildMlp(2, 64, 64, 64));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  EXPECT_EQ(engine.cache_stats().analysis_rejected, 1);
+  int entries = 0;
+  if (std::filesystem::exists(cache_dir)) {
+    for (const auto& e : std::filesystem::directory_iterator(cache_dir)) {
+      entries += e.is_regular_file() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(entries, 0) << "racy program was written to the persistent cache";
+
+  // A fresh engine on the same directory must compile cold: nothing to hit.
+  EngineOptions warm_options{CompileOptions()};
+  warm_options.cache_dir = cache_dir;
+  CompilerEngine warm(std::move(warm_options));
+  StatusOr<CompiledSubprogram> again = warm.Compile(BuildMlp(2, 64, 64, 64));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(warm.cache_stats().persistent_hits, 0);
+  std::filesystem::remove_all(cache_dir);
+}
+
+// The default admission analysis passes clean programs through: the entry
+// lands on disk and a restarted engine serves it as a persistent hit.
+TEST(EngineAdmissionTest, CleanProgramPersistsAndWarmServes) {
+  const std::string cache_dir = testing::TempDir() + "/sf_engine_admission_clean";
+  std::filesystem::remove_all(cache_dir);
+
+  {
+    EngineOptions options{CompileOptions()};
+    options.cache_dir = cache_dir;
+    CompilerEngine engine(std::move(options));
+    StatusOr<CompiledSubprogram> compiled = engine.Compile(BuildMlp(2, 64, 64, 64));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ(engine.cache_stats().analysis_rejected, 0);
+  }
+
+  EngineOptions options{CompileOptions()};
+  options.cache_dir = cache_dir;
+  CompilerEngine warm(std::move(options));
+  StatusOr<CompiledSubprogram> served = warm.Compile(BuildMlp(2, 64, 64, 64));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(warm.cache_stats().persistent_hits, 1);
+  std::filesystem::remove_all(cache_dir);
 }
 
 }  // namespace

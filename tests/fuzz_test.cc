@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/analysis/race_analyzer.h"
 #include "src/core/spacefusion.h"
 #include "src/support/string_util.h"
 #include "src/verify/verifier.h"
@@ -123,6 +124,87 @@ TEST_P(FuzzVerifyRejectTest, MutatedGraphsCarryDiagnostics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzVerifyRejectTest, ::testing::Range(0, 18));
+
+// --- Race-analyzer robustness ---------------------------------------------
+
+// The analyzer's contract is "report, never crash": whatever mutation hits
+// the schedule — degenerate or huge blocks, truncated memory plans,
+// scrambled index tables, dangling dim references — AnalyzeSchedule must
+// return normally (findings or not), because it runs on compiler-internal
+// state precisely when that state may be wrong.
+class FuzzAnalyzerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzAnalyzerTest, MutatedSchedulesNeverCrashTheAnalyzer) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 99;
+  Graph g = RandomGraph(seed);
+  Compiler compiler{CompileOptions(AmpereA100())};
+  StatusOr<CompiledSubprogram> compiled = compiler.Compile(g);
+  ASSERT_TRUE(compiled.ok()) << g.ToString();
+
+  // Deterministic xorshift stream drives the mutations.
+  std::uint64_t rng = seed | 1;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  for (int round = 0; round < 24; ++round) {
+    ScheduledProgram program = compiled->program;  // fresh copy per round
+    for (SmgSchedule& kernel : program.kernels) {
+      switch (next() % 8) {
+        case 0:
+          if (!kernel.spatial.empty()) {
+            kernel.spatial[next() % kernel.spatial.size()].block =
+                static_cast<std::int64_t>(next() % 3) - 1;  // -1, 0, or 1
+          }
+          break;
+        case 1:
+          if (!kernel.spatial.empty()) {
+            kernel.spatial[next() % kernel.spatial.size()].block = 1LL << 40;
+          }
+          break;
+        case 2:
+          if (!kernel.spatial.empty()) {
+            kernel.spatial[next() % kernel.spatial.size()].dim =
+                static_cast<DimId>(next() % 64) - 8;
+          }
+          break;
+        case 3:
+          if (!kernel.memory.tensor_level.empty()) {
+            kernel.memory.tensor_level.resize(next() % kernel.memory.tensor_level.size());
+          }
+          break;
+        case 4:
+          if (!kernel.built.tensor_space.empty()) {
+            kernel.built.tensor_space[next() % kernel.built.tensor_space.size()] =
+                static_cast<SpaceId>(next() % 128) - 16;
+          }
+          break;
+        case 5:
+          if (!kernel.built.op_space.empty()) {
+            kernel.built.op_space[next() % kernel.built.op_space.size()] =
+                static_cast<SpaceId>(next() % 128) - 16;
+          }
+          break;
+        case 6:
+          kernel.memory.smem_bytes = static_cast<std::int64_t>(next() % 3) - 1;
+          kernel.memory.reg_bytes = static_cast<std::int64_t>(next() % 3) - 1;
+          break;
+        case 7:
+          kernel.has_temporal = true;
+          kernel.temporal.dim = static_cast<DimId>(next() % 64) - 8;
+          kernel.temporal.block = static_cast<std::int64_t>(next() % 5) - 2;
+          break;
+      }
+    }
+    DiagnosticReport report = AnalyzeCompiledProgram(program, g);
+    (void)report;  // any verdict is fine; returning is the property
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAnalyzerTest, ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace spacefusion

@@ -734,6 +734,65 @@ TEST(FlightRecorderTest, ConcurrentRecordsAllLandWithUniqueSeq) {
   EXPECT_EQ(recorder.dropped(), 0);
 }
 
+// Regression: elapsed_ms used to be sampled before taking the recorder lock,
+// so two racing Records could commit ascending seq numbers with descending
+// timestamps. The clock is now read in the same critical section that
+// assigns seq, making (seq, elapsed_ms) jointly monotone.
+TEST(FlightRecorderTest, ConcurrentTimestampsAreMonotoneInSeqOrder) {
+  FlightRecorder recorder(4096);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.Record(StrCat("req-", t), "race", StrCat("event ", i));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kEvents));
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].elapsed_ms, events[i - 1].elapsed_ms)
+        << "timestamp inversion at seq " << events[i].seq;
+  }
+}
+
+// Render takes one critical section for both the event snapshot and the
+// dropped-count header, so the header can never disagree with the events
+// printed below it even while other threads keep recording.
+TEST(FlightRecorderTest, RenderIsInternallyConsistentUnderConcurrentRecords) {
+  FlightRecorder recorder(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&recorder, &stop] {
+    std::int64_t i = 0;
+    while (!stop.load()) {
+      recorder.Record("", "bg", StrCat("event ", i++));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    std::string rendered = recorder.Render();
+    // Header formats either "flight recorder: N event(s)" or appends
+    // ", M older event(s) overwritten"; count the event lines that follow.
+    size_t newline = rendered.find('\n');
+    ASSERT_NE(newline, std::string::npos) << rendered;
+    std::int64_t lines = 0;
+    for (size_t p = newline; p != std::string::npos; p = rendered.find('\n', p + 1)) {
+      ++lines;
+    }
+    std::int64_t claimed = 0;
+    ASSERT_EQ(std::sscanf(rendered.c_str(), "flight recorder: %ld", &claimed), 1)
+        << rendered;
+    EXPECT_EQ(lines - 1, claimed) << rendered;  // trailing newline ends last line
+  }
+  stop.store(true);
+  writer.join();
+}
+
 TEST(FlightRecorderTest, DumpToFailureLogWritesUnderReportDir) {
   std::string dir = testing::TempDir() + "/sf_flight_dump";
   std::filesystem::remove_all(dir);

@@ -296,5 +296,110 @@ TEST(ServeTest, CorruptCacheEntriesFallBackToColdCompiles) {
   EXPECT_GT(restarted.engine().cache_stats().persistent_corrupt, 0);
 }
 
+// Regression: a rejected first-time client must not leave a dead zero-count
+// quota entry behind (Submit used to plant one via operator[] before the
+// queue-full check, and nothing ever erased it).
+TEST(ServeTest, RejectedClientsLeaveNoQuotaEntryBehind) {
+  ServeServerOptions options = Options();
+  options.start_paused = true;
+  options.max_inflight_jobs = 1;
+  ServeServer server(options);
+
+  std::future<ServeResponse> admitted = server.Submit(Request("a", "bert", "worker"));
+  EXPECT_EQ(server.tracked_clients(), 1);
+
+  // Distinct compiles from distinct fresh clients, all rejected queue-full:
+  // none of them may grow the quota map.
+  std::vector<std::string> models = {"llama2", "t5", "vit"};
+  for (size_t i = 0; i < models.size(); ++i) {
+    std::future<ServeResponse> overflow =
+        server.Submit(Request(std::string("r") + models[i], models[i], "drive-by-" + models[i]));
+    ASSERT_EQ(overflow.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(overflow.get().status, "RESOURCE_EXHAUSTED");
+  }
+  EXPECT_EQ(server.tracked_clients(), 1) << "rejected clients leaked quota entries";
+
+  server.Resume();
+  EXPECT_TRUE(admitted.get().ok());
+  // Delivery releases the admitted client's slot too: the map drains empty.
+  EXPECT_EQ(server.tracked_clients(), 0);
+}
+
+// --- NDJSON protocol robustness -------------------------------------------
+
+// Malformed or truncated wire lines must come back as status errors, never
+// crashes: the daemon parses untrusted stdin.
+TEST(ServeProtocolTest, MalformedRequestLinesAreRejectedNotFatal) {
+  const std::vector<std::string> bad = {
+      "",
+      "   ",
+      "not json at all",
+      "{",
+      "}",
+      "[]",
+      "42",
+      "\"just a string\"",
+      "{\"id\":}",
+      "{\"id\":\"x\",",
+      "{\"id\":\"x\" \"model\":\"bert\"}",
+      // Field typing is lenient (wrong-typed values fall back to defaults),
+      // so the semantic rejections are: missing/empty model, bad batch/seq.
+      "{\"id\":\"x\"}",                         // model absent
+      "{\"id\":\"x\",\"model\":\"\"}",          // model empty
+      "{\"id\":\"x\",\"model\":[\"bert\"]}",    // non-string model -> empty
+      "{\"id\":\"x\",\"model\":\"bert\",\"batch\":0}",
+      "{\"id\":\"x\",\"model\":\"bert\",\"seq\":-3}",
+  };
+  for (const std::string& line : bad) {
+    StatusOr<ServeRequest> parsed = ServeRequestFromJson(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ServeProtocolTest, TruncatedRequestPrefixesNeverParseOrCrash) {
+  ServeRequest request;
+  request.id = "req-7";
+  request.client = "cli \"quoted\" name";
+  request.model = "bert";
+  request.batch = 8;
+  request.seq = 256;
+  request.arch = "h100";
+  request.deadline_ms = 1500;
+  const std::string line = ServeRequestToJson(request);
+
+  StatusOr<ServeRequest> full = ServeRequestFromJson(line);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full.value().id, request.id);
+  EXPECT_EQ(full.value().client, request.client);
+  EXPECT_EQ(full.value().batch, 8);
+
+  // Every strict prefix is a truncated write; none may parse as a request.
+  for (size_t cut = 0; cut < line.size(); ++cut) {
+    StatusOr<ServeRequest> parsed = ServeRequestFromJson(line.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "accepted prefix of length " << cut;
+  }
+}
+
+TEST(ServeProtocolTest, TruncatedResponsePrefixesNeverParseOrCrash) {
+  ServeResponse response;
+  response.id = "req-7";
+  response.status = "ok";
+  response.model = "bert";
+  response.outcome = "cold";
+  response.unique_subprograms = 4;
+  response.tuning_seconds = 1.25;
+  const std::string line = ServeResponseToJson(response);
+
+  StatusOr<ServeResponse> full = ServeResponseFromJson(line);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full.value().id, response.id);
+  EXPECT_EQ(full.value().outcome, "cold");
+
+  for (size_t cut = 0; cut < line.size(); ++cut) {
+    StatusOr<ServeResponse> parsed = ServeResponseFromJson(line.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "accepted prefix of length " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace spacefusion

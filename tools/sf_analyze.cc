@@ -1,0 +1,189 @@
+// sf-analyze: standalone static race/alias analysis driver.
+//
+// Loads built-in models by name, compiles them, and runs the SFV06xx race
+// analyzer (src/analysis) over every unique compiled subprogram: cross-block
+// write-write and read-write footprint intersection, out-of-plan accesses,
+// and spill-slot aliasing. Prints (or exports as JSON) the diagnostic
+// report. Exit code 0 means zero findings across every requested model —
+// CI runs `sf-analyze --model all` as the clean-schedule gate.
+//
+//   sf-analyze --model all
+//   sf-analyze --model bert --batch 8 --seq 256 --json report.json
+//   sf-analyze --list
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/race_analyzer.h"
+#include "src/core/compiler.h"
+#include "src/graph/models.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+int Usage() {
+  std::cerr << "usage: sf-analyze [--model NAME|all] [--batch N] [--seq N]\n"
+               "                  [--json PATH] [--list]\n"
+               "\n"
+               "  --model   built-in model to analyze (default: all)\n"
+               "  --batch   batch size (default: 1)\n"
+               "  --seq     sequence length / image side for ViT (default: 128)\n"
+               "  --json    write the diagnostic report to PATH as JSON\n"
+               "  --list    print the built-in model names and exit\n";
+  return 2;
+}
+
+StatusOr<ModelKind> ModelKindFromName(const std::string& name) {
+  for (ModelKind kind : AllModelKinds()) {
+    if (ToLower(ModelKindName(kind)) == ToLower(name)) {
+      return kind;
+    }
+  }
+  return NotFound(StrCat("unknown model \"", name, "\""));
+}
+
+struct ModelReport {
+  std::string model;
+  int unique_subprograms = 0;
+  DiagnosticReport report;
+  Status compile_status;  // non-OK when the compile itself was rejected
+
+  bool ok() const { return compile_status.ok() && report.ok(); }
+};
+
+ModelReport AnalyzeModel(ModelKind kind, std::int64_t batch, std::int64_t seq) {
+  ModelReport out;
+  out.model = ModelKindName(kind);
+
+  ModelGraph model = BuildModel(GetModelConfig(kind, batch, seq));
+  Compiler compiler((CompileOptions()));
+
+  StatusOr<CompiledModel> compiled = compiler.CompileModel(model);
+  if (!compiled.ok()) {
+    out.compile_status = compiled.status();
+    return out;
+  }
+
+  // The source graph of each unique subprogram is recovered by replaying
+  // CompileModel's first-seen dedup order (same scheme as sf-verify).
+  std::map<std::uint64_t, bool> seen;
+  size_t index = 0;
+  for (const Subprogram& sub : model.subprograms) {
+    std::uint64_t key = sub.graph.StructuralHash();
+    if (seen.count(key) > 0) {
+      continue;
+    }
+    seen.emplace(key, true);
+    if (index >= compiled.value().unique_subprograms.size()) {
+      break;
+    }
+    const CompiledSubprogram& unique = compiled.value().unique_subprograms[index++];
+    out.report.Merge(AnalyzeCompiledProgram(unique.program, sub.graph));
+  }
+  out.unique_subprograms = static_cast<int>(index);
+  return out;
+}
+
+std::string ReportJson(const ModelReport& r) {
+  return StrCat("{\"model\":\"", r.model, "\",\"unique_subprograms\":", r.unique_subprograms,
+                ",\"compile_status\":\"", r.compile_status.ok() ? "OK" : r.compile_status.ToString(),
+                "\",\"report\":", r.report.ToJson(), "}");
+}
+
+int Run(int argc, char** argv) {
+  std::string model_arg = "all";
+  std::int64_t batch = 1;
+  std::int64_t seq = 128;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--list") {
+      for (ModelKind kind : AllModelKinds()) {
+        std::cout << ModelKindName(kind) << "\n";
+      }
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      return Usage();
+    }
+    std::string value = argv[++i];
+    if (flag == "--model") {
+      model_arg = value;
+    } else if (flag == "--batch") {
+      batch = std::atoll(value.c_str());
+    } else if (flag == "--seq") {
+      seq = std::atoll(value.c_str());
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (batch < 1 || seq < 1) {
+    std::cerr << "sf-analyze: --batch and --seq must be positive\n";
+    return 2;
+  }
+
+  std::vector<ModelKind> kinds;
+  if (ToLower(model_arg) == "all") {
+    kinds = AllModelKinds();
+  } else {
+    StatusOr<ModelKind> kind = ModelKindFromName(model_arg);
+    if (!kind.ok()) {
+      std::cerr << "sf-analyze: " << kind.status().message() << " (see --list)\n";
+      return 2;
+    }
+    kinds.push_back(kind.value());
+  }
+
+  bool all_ok = true;
+  std::string json = "[";
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    ModelReport r = AnalyzeModel(kinds[i], batch, seq);
+    all_ok = all_ok && r.ok();
+    if (i > 0) {
+      json += ",";
+    }
+    json += ReportJson(r);
+
+    std::cout << r.model << " (batch=" << batch << ", seq=" << seq << "): ";
+    if (!r.compile_status.ok()) {
+      std::cout << "compile rejected\n" << r.compile_status.ToString() << "\n";
+    } else if (r.report.empty()) {
+      std::cout << r.unique_subprograms << " unique subprogram(s), no findings\n";
+    } else {
+      std::cout << r.unique_subprograms << " unique subprogram(s), " << r.report.error_count()
+                << " finding(s), " << r.report.warning_count() << " warning(s)\n"
+                << r.report.ToString() << "\n";
+    }
+  }
+  json += "]";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "sf-analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << json << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) { return spacefusion::Run(argc, argv); }

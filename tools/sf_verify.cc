@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/race_analyzer.h"
 #include "src/core/compiler.h"
 #include "src/graph/models.h"
 #include "src/support/string_util.h"
@@ -35,13 +36,14 @@ std::string ToLower(std::string s) {
 
 int Usage() {
   std::cerr << "usage: sf-verify [--model NAME|all] [--batch N] [--seq N]\n"
-               "                 [--mode off|phase|full] [--json PATH]\n"
+               "                 [--mode off|phase|full] [--analyze] [--json PATH]\n"
                "                 [--metrics] [--metrics-json] [--list]\n"
                "\n"
                "  --model        built-in model to verify (default: all)\n"
                "  --batch        batch size (default: 1)\n"
                "  --seq          sequence length / image side for ViT (default: 128)\n"
                "  --mode         verification level (default: SPACEFUSION_VERIFY, else full)\n"
+               "  --analyze      additionally run the SFV06xx race analyzer (sf-analyze)\n"
                "  --json         write the diagnostic report to PATH as JSON\n"
                "  --metrics      print the final MetricsSnapshot as text to stdout\n"
                "  --metrics-json print the final MetricsSnapshot as JSON to stdout\n"
@@ -67,7 +69,8 @@ struct ModelReport {
   bool ok() const { return compile_status.ok() && report.ok(); }
 };
 
-ModelReport VerifyModel(ModelKind kind, std::int64_t batch, std::int64_t seq, VerifyMode mode) {
+ModelReport VerifyModel(ModelKind kind, std::int64_t batch, std::int64_t seq, VerifyMode mode,
+                        bool analyze) {
   ModelReport out;
   out.model = ModelKindName(kind);
 
@@ -102,6 +105,9 @@ ModelReport VerifyModel(ModelKind kind, std::int64_t batch, std::int64_t seq, Ve
       DiagnosticReport sub_report = VerifyCompiledProgram(unique.program, sub.graph, rc);
       out.report.Merge(std::move(sub_report));
     }
+    if (analyze) {
+      out.report.Merge(AnalyzeCompiledProgram(unique.program, sub.graph));
+    }
   }
   out.unique_subprograms = static_cast<int>(index);
   return out;
@@ -120,11 +126,16 @@ int Run(int argc, char** argv) {
   std::int64_t seq = 128;
   VerifyMode mode = VerifyModeFromEnv(VerifyMode::kFull);
   std::string json_path;
+  bool analyze = false;
   bool print_metrics = false;
   bool print_metrics_json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    if (flag == "--analyze") {
+      analyze = true;
+      continue;
+    }
     if (flag == "--list") {
       for (ModelKind kind : AllModelKinds()) {
         std::cout << ModelKindName(kind) << "\n";
@@ -182,7 +193,7 @@ int Run(int argc, char** argv) {
   bool all_ok = true;
   std::string json = "[";
   for (size_t i = 0; i < kinds.size(); ++i) {
-    ModelReport r = VerifyModel(kinds[i], batch, seq, mode);
+    ModelReport r = VerifyModel(kinds[i], batch, seq, mode, analyze);
     all_ok = all_ok && r.ok();
     if (i > 0) {
       json += ",";
