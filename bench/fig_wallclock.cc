@@ -1,0 +1,252 @@
+// Real fused-vs-unfused wall-clock on the host CPU (BENCH_exec.json).
+//
+// Unlike the fig11-16 benches, which report *modeled* GPU time, this bench
+// executes compiled programs for real through the native JIT path and
+// times them: fused JIT (the tuned temporal/spatial schedule with inlined
+// elementwise chains) against unfused JIT (reference_mode codegen — one
+// loop nest per op, every intermediate materialized) and against the
+// schedule interpreter. The fused win must come from locality and fewer
+// memory passes, not from parallelism: everything runs single threaded.
+//
+//   fig_wallclock --json BENCH_exec.json --repeats 5
+//
+// Exit code 0 only when fused JIT beats unfused JIT on MHA and LayerNorm
+// (the paper's two flagship fusion workloads); sf-stats diffs the JSON
+// against bench/BENCH_exec.baseline.json with a generous threshold.
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "src/exec/jit_executor.h"
+
+namespace spacefusion {
+namespace {
+
+struct Workload {
+  std::string name;
+  Graph graph;
+};
+
+struct Timing {
+  double fused_us = 0.0;
+  double unfused_us = 0.0;
+  double interpret_us = 0.0;
+};
+
+double OneRunUs(const std::function<void()>& run) {
+  const auto start = std::chrono::steady_clock::now();
+  run();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Best-of-N after one untimed warm-up (the warm-up pays for kernel
+// emission and toolchain builds; the timed runs hit the in-memory cache).
+double BestOfUs(int repeats, const std::function<void()>& run) {
+  run();
+  double best = OneRunUs(run);
+  for (int i = 1; i < repeats; ++i) {
+    best = std::min(best, OneRunUs(run));
+  }
+  return best;
+}
+
+StatusOr<Timing> TimeGraph(const Graph& g, int repeats, JitExecutor* fused,
+                           JitExecutor* unfused) {
+  Compiler compiler{CompileOptions(AmpereA100())};
+  SF_ASSIGN_OR_RETURN(CompiledSubprogram compiled, compiler.Compile(g));
+  const TensorEnv inputs = MakeGraphInputs(g, /*seed=*/7);
+
+  Timing t;
+  TensorEnv out;
+  const std::int64_t fallbacks_before = fused->stats().fallbacks;
+  t.fused_us = BestOfUs(repeats, [&] {
+    SF_CHECK(fused->RunProgram(compiled.program, g, inputs, &out).ok());
+  });
+  t.unfused_us = BestOfUs(repeats, [&] {
+    SF_CHECK(unfused->RunProgram(compiled.program, g, inputs, &out).ok());
+  });
+  t.interpret_us = BestOfUs(repeats, [&] {
+    SF_CHECK(RunScheduledProgram(compiled.program, g, inputs, &out).ok());
+  });
+  if (fused->stats().fallbacks != fallbacks_before) {
+    return Internal("fused jit fell back to the interpreter on " + g.name() +
+                    "; the wall-clock would not measure native code");
+  }
+  return t;
+}
+
+std::string Json(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path;
+  int repeats = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if ((flag == "--json" || flag == "--repeats") && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (flag == "--json") {
+        json_path = value;
+      } else {
+        repeats = std::atoi(value.c_str());
+      }
+      continue;
+    }
+    std::fprintf(stderr, "usage: fig_wallclock [--json PATH] [--repeats N]\n");
+    return 2;
+  }
+  if (repeats < 1) {
+    repeats = 1;
+  }
+
+  PrintHeader("Wall-clock: fused JIT vs unfused JIT vs interpreter (host CPU)");
+
+  // Both executors share one on-disk cache directory; their kernels cannot
+  // alias (the codegen options digest is part of every key).
+  const std::string cache_dir = "/tmp/sf-wallclock-" + std::to_string(::getpid());
+  JitExecutorOptions fused_options;
+  fused_options.cache.dir = cache_dir;
+  JitExecutor fused(fused_options);
+
+  JitExecutorOptions unfused_options;
+  unfused_options.cache.dir = cache_dir;
+  unfused_options.codegen.reference_mode = true;
+  unfused_options.codegen.fuse_elementwise = false;
+  JitExecutor unfused(unfused_options);
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"mha", BuildMha(/*batch_heads=*/8, /*seq_q=*/256, /*seq_kv=*/256,
+                                       /*head_dim=*/64)});
+  workloads.push_back({"layernorm", BuildLayerNormGraph(/*m=*/512, /*n=*/4096)});
+  workloads.push_back({"mlp", BuildMlp(/*num_layers=*/2, /*m=*/256, /*n=*/512, /*k=*/512)});
+  workloads.push_back({"ffn", BuildFfn(/*tokens=*/256, /*hidden=*/768, /*ffn_dim=*/3072,
+                                       UnaryKind::kGelu, NormKind::kLayerNorm)});
+
+  std::printf("%-12s %14s %14s %14s %10s\n", "workload", "fused jit us", "unfused jit us",
+              "interpret us", "speedup");
+  std::string workloads_json;
+  bool mha_wins = false;
+  bool layernorm_wins = false;
+  for (const Workload& w : workloads) {
+    StatusOr<Timing> timed = TimeGraph(w.graph, repeats, &fused, &unfused);
+    if (!timed.ok()) {
+      std::fprintf(stderr, "fig_wallclock: %s: %s\n", w.name.c_str(),
+                   timed.status().ToString().c_str());
+      return 1;
+    }
+    const Timing& t = timed.value();
+    const double speedup = t.fused_us > 0.0 ? t.unfused_us / t.fused_us : 0.0;
+    std::printf("%-12s %14.1f %14.1f %14.1f %9.2fx\n", w.name.c_str(), t.fused_us, t.unfused_us,
+                t.interpret_us, speedup);
+    RecordBenchValue(w.name + "/fused_jit_us", t.fused_us);
+    RecordBenchValue(w.name + "/unfused_jit_us", t.unfused_us);
+    if (!workloads_json.empty()) {
+      workloads_json += ",";
+    }
+    workloads_json += "\"" + w.name + "\":{\"fused_jit_us\":" + Json(t.fused_us) +
+                      ",\"unfused_jit_us\":" + Json(t.unfused_us) +
+                      ",\"interpret_us\":" + Json(t.interpret_us) +
+                      ",\"fused_speedup\":" + Json(speedup) + "}";
+    if (w.name == "mha") {
+      mha_wins = t.fused_us < t.unfused_us;
+    }
+    if (w.name == "layernorm") {
+      layernorm_wins = t.fused_us < t.unfused_us;
+    }
+  }
+
+  // Whole-zoo execution: every unique subprogram of each model once,
+  // jit vs interpreter (fused schedules both times).
+  std::printf("\n%-12s %14s %14s\n", "model", "jit us", "interpret us");
+  const int model_repeats = std::min(repeats, 3);
+  for (ModelKind kind : AllModelKinds()) {
+    ModelGraph model = BuildModel(GetModelConfig(kind, /*batch=*/1, /*seq=*/64));
+    Compiler compiler{CompileOptions(AmpereA100())};
+    // Distinct subprograms once each (repeat counts would only scale every
+    // column by the same factor); the compiler's program cache makes the
+    // repeated Compile calls free.
+    double jit_us = 0.0;
+    double interpret_us = 0.0;
+    std::uint64_t sub_seed = 1;
+    std::vector<std::uint64_t> seen;
+    for (const Subprogram& sub : model.subprograms) {
+      const std::uint64_t fp = sub.graph.StructuralHash();
+      bool dup = false;
+      for (std::uint64_t s : seen) {
+        dup = dup || s == fp;
+      }
+      if (dup) {
+        continue;
+      }
+      seen.push_back(fp);
+      StatusOr<CompiledSubprogram> compiled = compiler.Compile(sub.graph);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "fig_wallclock: %s/%s: %s\n", ModelKindName(kind),
+                     sub.graph.name().c_str(), compiled.status().ToString().c_str());
+        return 1;
+      }
+      const TensorEnv inputs = MakeGraphInputs(sub.graph, sub_seed++);
+      TensorEnv out;
+      jit_us += BestOfUs(model_repeats, [&] {
+        SF_CHECK(fused.RunProgram(compiled->program, sub.graph, inputs, &out).ok());
+      });
+      interpret_us += BestOfUs(model_repeats, [&] {
+        SF_CHECK(RunScheduledProgram(compiled->program, sub.graph, inputs, &out).ok());
+      });
+    }
+    std::printf("%-12s %14.1f %14.1f\n", ModelKindName(kind), jit_us, interpret_us);
+    if (!workloads_json.empty()) {
+      workloads_json += ",";
+    }
+    workloads_json += std::string("\"model_") + ModelKindName(kind) +
+                      "\":{\"jit_us\":" + Json(jit_us) +
+                      ",\"interpret_us\":" + Json(interpret_us) + "}";
+  }
+
+  const JitKernelCache::Stats cache = fused.cache().stats();
+  const double lookups = static_cast<double>(cache.memory_hits + cache.disk_hits + cache.builds +
+                                             cache.failures);
+  const double hit_rate =
+      lookups > 0.0 ? static_cast<double>(cache.memory_hits + cache.disk_hits) / lookups : 0.0;
+  std::printf("\njit cache: %lld built, %lld memory hit(s), %lld disk hit(s), hit rate %.3f\n",
+              static_cast<long long>(cache.builds), static_cast<long long>(cache.memory_hits),
+              static_cast<long long>(cache.disk_hits), hit_rate);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "fig_wallclock: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\"bench\":\"fig_wallclock\",\"repeats\":" << repeats << ",\"workloads\":{"
+        << workloads_json << "},\"jit_cache\":{\"kernels_built\":" << cache.builds
+        << ",\"hits\":" << (cache.memory_hits + cache.disk_hits)
+        << ",\"hit_rate\":" << Json(hit_rate) << ",\"build_time_ms\":" << Json(cache.build_ms)
+        << "}}\n";
+  }
+  EmitBenchMetrics("fig_wallclock");
+
+  if (!mha_wins || !layernorm_wins) {
+    std::fprintf(stderr,
+                 "fig_wallclock: fused JIT did not beat unfused JIT on %s%s%s — the fusion "
+                 "speedup claim does not hold on this host\n",
+                 mha_wins ? "" : "mha", !mha_wins && !layernorm_wins ? " and " : "",
+                 layernorm_wins ? "" : "layernorm");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spacefusion
+
+int main(int argc, char** argv) {
+  spacefusion::SetLogThreshold(spacefusion::LogLevel::kWarning);
+  return spacefusion::Run(argc, argv);
+}

@@ -1,0 +1,79 @@
+// Native C++ code generation for fused kernels.
+//
+// Where triton_codegen renders the Triton text a schedule *would* lower to,
+// this backend emits C++ that actually runs on the host: one translation
+// unit per kernel, with every extent, stride, tile width, and
+// Update-then-Aggregate multiplier baked in as compile-time constants so
+// the host compiler can unroll and vectorize the contiguous inner loops.
+// The emitted function mirrors the schedule interpreter
+// (src/exec/schedule_executor.cc) operation for operation — same scalar
+// formulas, same accumulation order, same temporal intra-block structure —
+// so with floating-point contraction disabled the compiled kernel is
+// bit-identical to the interpreter on reassociation-free op streams.
+//
+// Emitted ABI (see CppKernelFn):
+//   extern "C" int sf_k_<key>(const float* const* in, float* const* out,
+//                             float* scratch);
+// `in` holds one pointer per boundary tensor (kInput/kWeight/kConstant, in
+// ascending TensorId order: CppKernel::input_ids), `out` one pointer per
+// kOutput tensor (CppKernel::output_ids), and `scratch` is a caller-owned
+// block of CppKernel::scratch_floats floats for intermediates and running
+// accumulators. The return value is 0 (reserved for future error codes).
+#ifndef SPACEFUSION_SRC_CODEGEN_CPP_CODEGEN_H_
+#define SPACEFUSION_SRC_CODEGEN_CPP_CODEGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/schedule/schedule_ir.h"
+#include "src/support/status.h"
+
+namespace spacefusion {
+
+struct CppCodegenOptions {
+  // Annotate the emitted source with op/schedule provenance comments.
+  bool emit_comments = true;
+  // Inline single-consumer element-wise producers into their consumer's
+  // loop (loop fusion). Preserves the per-element expression tree, so the
+  // result stays bit-identical to the materialized form.
+  bool fuse_elementwise = true;
+  // Emit the *unfused* baseline instead: one full-extent loop nest per op,
+  // every intermediate materialized, no temporal tiling and no inlining.
+  // This is RunReference as native code — the fair "unfused" side of the
+  // wall-clock comparison.
+  bool reference_mode = false;
+};
+
+// Digest of every emission-affecting option; part of the kernel cache key.
+std::uint64_t CppCodegenOptionsDigest(const CppCodegenOptions& options);
+
+// Signature of a compiled kernel entry point.
+using CppKernelFn = int (*)(const float* const* in, float* const* out, float* scratch);
+
+// One emitted kernel: the full translation unit plus the ABI metadata the
+// executor needs to marshal tensors.
+struct CppKernel {
+  std::string symbol;                 // "sf_k_<16 hex digits of key>"
+  std::uint64_t key = 0;              // content hash of (source, options)
+  std::string source;                 // complete C++ translation unit
+  std::int64_t scratch_floats = 0;    // caller-provided scratch, in floats
+  std::vector<TensorId> input_ids;    // ABI order of in[]
+  std::vector<TensorId> output_ids;   // ABI order of out[]
+};
+
+// Emits the specialized C++ for one fused kernel. The schedule must have
+// block sizes applied (ApplyConfig); the memory plan is not consulted.
+StatusOr<CppKernel> EmitCppKernel(const SmgSchedule& schedule,
+                                  const CppCodegenOptions& options = CppCodegenOptions());
+
+// Concatenates the sources of every kernel of a partitioned program, in
+// kernel order — for inspection (sf-compile --emit-kernels) and for the
+// determinism tests. Byte-identical across repeated compiles of the same
+// program with the same options.
+StatusOr<std::string> EmitCppProgram(const ScheduledProgram& program,
+                                     const CppCodegenOptions& options = CppCodegenOptions());
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_CODEGEN_CPP_CODEGEN_H_

@@ -1,0 +1,179 @@
+#include "src/exec/jit_executor.h"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/support/logging.h"
+
+namespace spacefusion {
+
+const char* ExecBackendName(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kInterpret:
+      return "interpret";
+    case ExecBackend::kJit:
+      return "jit";
+  }
+  return "?";
+}
+
+ExecBackend ExecBackendFromEnv() {
+  const char* env = std::getenv("SPACEFUSION_EXEC");
+  if (env != nullptr && std::string(env) == "jit") {
+    return ExecBackend::kJit;
+  }
+  return ExecBackend::kInterpret;
+}
+
+JitExecutor::JitExecutor(JitExecutorOptions options) : options_(std::move(options)) {
+  if (options_.cache.dir.empty()) {
+    options_.cache.dir = KernelCacheDirFromEnv();
+  }
+  owned_cache_ = std::make_unique<JitKernelCache>(options_.cache);
+  cache_ = owned_cache_.get();
+}
+
+JitExecutor::JitExecutor(JitExecutorOptions options, JitKernelCache* shared_cache)
+    : options_(std::move(options)), cache_(shared_cache) {
+  SF_CHECK(cache_ != nullptr);
+}
+
+Status JitExecutor::TryRunJit(const SmgSchedule& schedule, TensorEnv* env) {
+  SF_ASSIGN_OR_RETURN(CppKernel kernel, EmitCppKernel(schedule, options_.codegen));
+  SF_ASSIGN_OR_RETURN(JitKernelCache::Kernel loaded, cache_->GetOrBuild(kernel));
+
+  const Graph& graph = schedule.graph;
+  std::vector<const float*> in_ptrs;
+  in_ptrs.reserve(kernel.input_ids.size());
+  for (TensorId t : kernel.input_ids) {
+    const Tensor& tensor = (*env)[static_cast<size_t>(t)];
+    if (!tensor.defined()) {
+      return Internal("jit: undefined input tensor " + graph.tensor(t).name);
+    }
+    if (tensor.shape() != graph.tensor(t).shape) {
+      return Internal("jit: input " + graph.tensor(t).name + " has shape " +
+                      tensor.shape().ToString() + ", kernel was specialized for " +
+                      graph.tensor(t).shape.ToString());
+    }
+    in_ptrs.push_back(tensor.data());
+  }
+  std::vector<Tensor> outputs;
+  std::vector<float*> out_ptrs;
+  outputs.reserve(kernel.output_ids.size());
+  out_ptrs.reserve(kernel.output_ids.size());
+  for (TensorId t : kernel.output_ids) {
+    const TensorInfo& info = graph.tensor(t);
+    outputs.push_back(Tensor::Zeros(info.shape, info.dtype));
+    out_ptrs.push_back(outputs.back().data());
+  }
+  std::vector<float> scratch(static_cast<size_t>(loaded.scratch_floats), 0.0f);
+
+  const int rc = loaded.fn(in_ptrs.data(), out_ptrs.data(), scratch.data());
+  if (rc != 0) {
+    return Internal("jit: kernel " + kernel.symbol + " returned " + std::to_string(rc));
+  }
+  for (size_t i = 0; i < kernel.output_ids.size(); ++i) {
+    (*env)[static_cast<size_t>(kernel.output_ids[i])] = outputs[i];
+  }
+  return Status::Ok();
+}
+
+Status JitExecutor::RunKernel(const SmgSchedule& schedule, TensorEnv* env) {
+  ScopedSpan span("exec.jit.run_kernel", "exec");
+  span.Arg("kernel", schedule.graph.name());
+  Status jit = TryRunJit(schedule, env);
+  if (jit.ok()) {
+    SF_COUNTER_ADD("exec.jit.kernel_launches", 1);
+    MutexLock lock(mu_);
+    ++stats_.jit_runs;
+    return jit;
+  }
+  if (!options_.fallback_to_interpret) {
+    return jit;
+  }
+  SF_LOG(Warning) << "jit: falling back to interpreter for " << schedule.graph.name() << ": "
+                  << jit.message();
+  SF_COUNTER_ADD("exec.jit.fallbacks", 1);
+  {
+    MutexLock lock(mu_);
+    ++stats_.fallbacks;
+  }
+  return RunSchedule(schedule, env);
+}
+
+Status JitExecutor::RunProgram(const ScheduledProgram& program, const Graph& original,
+                               const TensorEnv& original_inputs, TensorEnv* final_outputs) {
+  ScopedSpan span("exec.jit.run_program", "exec");
+  span.Arg("graph", original.name())
+      .Arg("kernels", static_cast<std::int64_t>(program.kernels.size()));
+  // Mirrors RunScheduledProgram: boundary tensors are handed between
+  // kernels by name.
+  std::map<std::string, Tensor> by_name;
+  for (const TensorInfo& t : original.tensors()) {
+    if (t.kind == TensorKind::kInput || t.kind == TensorKind::kWeight ||
+        t.kind == TensorKind::kConstant) {
+      by_name[t.name] = original_inputs[static_cast<size_t>(t.id)];
+    }
+  }
+
+  for (const SmgSchedule& kernel : program.kernels) {
+    const Graph& graph = kernel.graph;
+    TensorEnv env(graph.tensors().size());
+    for (const TensorInfo& t : graph.tensors()) {
+      if (t.kind == TensorKind::kIntermediate || t.kind == TensorKind::kOutput) {
+        continue;
+      }
+      auto it = by_name.find(t.name);
+      if (it != by_name.end()) {
+        env[static_cast<size_t>(t.id)] = it->second;
+      } else if (t.kind == TensorKind::kConstant) {
+        env[static_cast<size_t>(t.id)] = Tensor::Full(t.shape, t.constant_value, t.dtype);
+      } else {
+        return Internal("kernel " + graph.name() + " misses input " + t.name);
+      }
+    }
+    SF_RETURN_IF_ERROR(RunKernel(kernel, &env));
+    for (const TensorInfo& t : graph.tensors()) {
+      if (t.kind == TensorKind::kOutput) {
+        by_name[t.name] = env[static_cast<size_t>(t.id)];
+      }
+    }
+  }
+
+  final_outputs->assign(original.tensors().size(), Tensor());
+  for (const TensorInfo& t : original.tensors()) {
+    if (t.kind == TensorKind::kOutput) {
+      auto it = by_name.find(t.name);
+      if (it == by_name.end()) {
+        return Internal("program did not produce output " + t.name);
+      }
+      (*final_outputs)[static_cast<size_t>(t.id)] = it->second;
+    }
+  }
+  return Status::Ok();
+}
+
+JitExecutor::Stats JitExecutor::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+Status RunScheduledProgramWithBackend(ExecBackend backend, const ScheduledProgram& program,
+                                      const Graph& original, const TensorEnv& original_inputs,
+                                      TensorEnv* final_outputs) {
+  if (backend == ExecBackend::kInterpret) {
+    return RunScheduledProgram(program, original, original_inputs, final_outputs);
+  }
+  // One process-wide executor so repeated calls share the in-memory handle
+  // map on top of the persistent on-disk cache. Never destroyed: dlopened
+  // code may still be referenced at exit.
+  static JitExecutor* executor = new JitExecutor();
+  return executor->RunProgram(program, original, original_inputs, final_outputs);
+}
+
+}  // namespace spacefusion

@@ -1,0 +1,90 @@
+// JIT execution of fused schedules: native code instead of interpretation.
+//
+// The JitExecutor emits specialized C++ for each kernel (cpp_codegen),
+// compiles it through the persistent JIT kernel cache (jit_cache), and runs
+// the resulting shared object. Every jit failure — emission, toolchain,
+// dlopen, corrupt cache entry — falls back to the schedule interpreter
+// (fallback ladder jit -> interpret), so SPACEFUSION_EXEC=jit can never
+// produce fewer answers than SPACEFUSION_EXEC=interpret, only faster ones.
+//
+// Numerics: the emitted code replays the interpreter's exact per-element
+// operation order and is compiled with -ffp-contract=off, so outputs are
+// bit-identical to the interpreter on reassociation-free op streams (see
+// DESIGN.md "Native codegen & JIT kernel cache" for the tolerance policy).
+#ifndef SPACEFUSION_SRC_EXEC_JIT_EXECUTOR_H_
+#define SPACEFUSION_SRC_EXEC_JIT_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/codegen/cpp_codegen.h"
+#include "src/codegen/jit_cache.h"
+#include "src/exec/schedule_executor.h"
+#include "src/support/thread_annotations.h"
+
+namespace spacefusion {
+
+// Which executor runs a compiled schedule.
+enum class ExecBackend { kInterpret, kJit };
+
+const char* ExecBackendName(ExecBackend backend);
+
+// SPACEFUSION_EXEC={interpret,jit}; anything else (or unset) interprets.
+ExecBackend ExecBackendFromEnv();
+
+struct JitExecutorOptions {
+  CppCodegenOptions codegen;
+  // Kernel cache configuration. An empty dir resolves through
+  // KernelCacheDirFromEnv() (SPACEFUSION_KERNEL_CACHE_DIR, then
+  // "<SPACEFUSION_CACHE_DIR>/kernels", then a per-process temp dir).
+  JitCacheOptions cache;
+  // Fall back to the interpreter when the jit path fails. Disable only in
+  // tests that assert on jit errors.
+  bool fallback_to_interpret = true;
+};
+
+class JitExecutor {
+ public:
+  struct Stats {
+    std::int64_t jit_runs = 0;   // kernels executed natively
+    std::int64_t fallbacks = 0;  // kernels that fell back to the interpreter
+  };
+
+  explicit JitExecutor(JitExecutorOptions options = JitExecutorOptions());
+  // Runs against an externally owned kernel cache (e.g. the engine's, so
+  // serving and execution share one persistent cache). `shared_cache` must
+  // outlive the executor.
+  JitExecutor(JitExecutorOptions options, JitKernelCache* shared_cache);
+
+  // Executes one fused kernel's schedule over `env`, natively when
+  // possible. Mirrors RunSchedule's contract.
+  Status RunKernel(const SmgSchedule& schedule, TensorEnv* env);
+
+  // Executes a partitioned program: kernels in sequence, cut tensors handed
+  // between kernels by name. Mirrors RunScheduledProgram's contract.
+  Status RunProgram(const ScheduledProgram& program, const Graph& original,
+                    const TensorEnv& original_inputs, TensorEnv* final_outputs);
+
+  JitKernelCache& cache() { return *cache_; }
+  Stats stats() const;
+
+ private:
+  Status TryRunJit(const SmgSchedule& schedule, TensorEnv* env);
+
+  JitExecutorOptions options_;
+  std::unique_ptr<JitKernelCache> owned_cache_;
+  JitKernelCache* cache_ = nullptr;
+
+  mutable Mutex mu_;
+  Stats stats_ SF_GUARDED_BY(mu_);
+};
+
+// Convenience dispatch: kInterpret calls RunScheduledProgram; kJit runs a
+// process-wide JitExecutor with default (environment-driven) options.
+Status RunScheduledProgramWithBackend(ExecBackend backend, const ScheduledProgram& program,
+                                      const Graph& original, const TensorEnv& original_inputs,
+                                      TensorEnv* final_outputs);
+
+}  // namespace spacefusion
+
+#endif  // SPACEFUSION_SRC_EXEC_JIT_EXECUTOR_H_

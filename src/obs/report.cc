@@ -69,6 +69,9 @@ std::string CompileReport::ToJson() const {
   }
   out += StrCat("]},\"memory\":{\"kernels\":", kernels, ",\"smem_bytes\":", smem_bytes,
                 ",\"reg_bytes\":", reg_bytes,
+                "},\"jit\":{\"kernels_built\":", jit_kernels_built,
+                ",\"kernels_cached\":", jit_kernels_cached,
+                ",\"build_ms\":", FormatNumber(jit_build_ms),
                 "},\"modeled_time_us\":", FormatNumber(modeled_time_us), "}");
   return out;
 }
@@ -127,6 +130,12 @@ StatusOr<CompileReport> CompileReport::FromJson(const std::string& json) {
     report.kernels = static_cast<int>(memory->GetNumber("kernels"));
     report.smem_bytes = static_cast<std::int64_t>(memory->GetNumber("smem_bytes"));
     report.reg_bytes = static_cast<std::int64_t>(memory->GetNumber("reg_bytes"));
+  }
+  // Absent in pre-jit documents: fields default to zero.
+  if (const JsonValue* jit = doc.Get("jit"); jit != nullptr && jit->is_object()) {
+    report.jit_kernels_built = static_cast<std::int64_t>(jit->GetNumber("kernels_built"));
+    report.jit_kernels_cached = static_cast<std::int64_t>(jit->GetNumber("kernels_cached"));
+    report.jit_build_ms = jit->GetNumber("build_ms");
   }
   report.modeled_time_us = doc.GetNumber("modeled_time_us");
   return report;

@@ -75,6 +75,14 @@ struct CompileReport {
   std::int64_t reg_bytes = 0;
   double modeled_time_us = 0.0;      // simulator estimate of one execution
 
+  // Native-kernel prewarm (engines with prewarm_jit): how many of this
+  // program's kernels the JIT cache built with the toolchain vs served
+  // warm (memory or disk), and the toolchain wall time spent. All zero
+  // when prewarm is off. A warm serve restart shows built == 0.
+  std::int64_t jit_kernels_built = 0;
+  std::int64_t jit_kernels_cached = 0;
+  double jit_build_ms = 0.0;
+
   std::string ToJson() const;
   // Inverse of ToJson; rejects documents whose schema_version is newer than
   // this build understands.

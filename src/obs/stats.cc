@@ -45,8 +45,33 @@ void AddReportSeries(const CompileReport& report, std::map<std::string, double>*
   (*series)[StrCat(base, "/configs_screened")] = static_cast<double>(report.configs_screened);
   (*series)[StrCat(base, "/configs_admitted")] = static_cast<double>(report.configs_admitted);
   (*series)[StrCat(base, "/modeled_time_us")] = report.modeled_time_us;
+  // Only the *built* count and the (wall) build time: jit_kernels_cached
+  // grows as caches warm, so diffing it cold-vs-warm would flag the warm
+  // run's extra hits as a "regression".
+  (*series)[StrCat(base, "/jit_kernels_built")] = static_cast<double>(report.jit_kernels_built);
+  (*series)[StrCat(base, "/wall/jit_build_ms")] = report.jit_build_ms;
   for (const PassReportEntry& pass : report.passes) {
     (*series)[StrCat(base, "/wall/pass/", pass.pass)] = pass.wall_ms;
+  }
+}
+
+// One BENCH_exec.json entry (a workload or the jit_cache block): every
+// numeric field becomes a series. Microsecond/millisecond fields and the
+// speedup ratios derived from them are host wall-clock, so they go under
+// "wall/" and only an --include-wall diff (the generously thresholded
+// jit-exec gate) compares them.
+void AddExecSeries(const std::string& prefix, const JsonValue& entry,
+                   std::map<std::string, double>* series) {
+  for (const auto& [field, value] : entry.members()) {
+    if (!value.is_number()) {
+      continue;
+    }
+    const bool wall =
+        (field.size() > 3 && (field.compare(field.size() - 3, 3, "_us") == 0 ||
+                              field.compare(field.size() - 3, 3, "_ms") == 0)) ||
+        field.find("speedup") != std::string::npos;
+    (*series)[wall ? StrCat(prefix, "/wall/", field) : StrCat(prefix, "/", field)] =
+        value.number();
   }
 }
 
@@ -157,6 +182,27 @@ StatusOr<RunStats> LoadBenchJsonStats(const std::string& path) {
   return run;
 }
 
+StatusOr<RunStats> LoadExecJsonStats(const std::string& path) {
+  SF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  SF_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(text));
+  const JsonValue* workloads = doc.Get("workloads");
+  if (workloads == nullptr || !workloads->is_object()) {
+    return InvalidArgument(StrCat(path, ": not a BENCH_exec.json document"));
+  }
+  RunStats run;
+  run.source = path;
+  run.format = "exec_json";
+  for (const auto& [name, entry] : workloads->members()) {
+    if (entry.is_object()) {
+      AddExecSeries(name, entry, &run.series);
+    }
+  }
+  if (const JsonValue* cache = doc.Get("jit_cache"); cache != nullptr && cache->is_object()) {
+    AddExecSeries("jit_cache", *cache, &run.series);
+  }
+  return run;
+}
+
 StatusOr<RunStats> LoadRunStats(const std::string& path) {
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec)) {
@@ -164,6 +210,9 @@ StatusOr<RunStats> LoadRunStats(const std::string& path) {
   }
   SF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   SF_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(text));
+  if (doc.Get("workloads") != nullptr) {
+    return LoadExecJsonStats(path);
+  }
   if (const JsonValue* models = doc.Get("models"); models != nullptr) {
     return models->is_array() ? LoadCompileJsonStats(path) : LoadBenchJsonStats(path);
   }
@@ -279,6 +328,29 @@ std::string RenderSummary(const RunStats& run, int top_n) {
     out += "slowest passes (summed wall ms):\n";
     for (size_t i = 0; i < passes.size() && i < static_cast<size_t>(top_n); ++i) {
       out += StrCat("  ", passes[i].first, "  ", FormatNumber(passes[i].second), "\n");
+    }
+  }
+
+  // Exec benches carry no CompileReports or pass keys; summarize the
+  // slowest execution times and the jit cache hit rate instead.
+  if (run.format == "exec_json") {
+    std::vector<std::pair<std::string, double>> walls;
+    for (const auto& [key, value] : run.series) {
+      if (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) {
+        walls.emplace_back(key, value);
+      }
+    }
+    std::sort(walls.begin(), walls.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (!walls.empty()) {
+      out += "slowest executions (wall us):\n";
+      for (size_t i = 0; i < walls.size() && i < static_cast<size_t>(top_n); ++i) {
+        out += StrCat("  ", walls[i].first, "  ", FormatNumber(walls[i].second), "\n");
+      }
+    }
+    auto hit_rate = run.series.find("jit_cache/hit_rate");
+    if (hit_rate != run.series.end()) {
+      out += StrCat("jit cache hit rate: ", FormatNumber(hit_rate->second), "\n");
     }
   }
   return out;

@@ -28,7 +28,7 @@ namespace spacefusion {
 // parsed reports themselves.
 struct RunStats {
   std::string source;                    // path the run was loaded from
-  std::string format;                    // "report_dir" | "compile_json" | "bench_json" | "report"
+  std::string format;  // "report_dir" | "compile_json" | "bench_json" | "exec_json" | "report"
   std::vector<CompileReport> reports;    // empty unless format uses CompileReports
   std::map<std::string, double> series;  // key -> value, keys sorted
 };
@@ -45,6 +45,10 @@ StatusOr<RunStats> LoadRunStats(const std::string& path);
 StatusOr<RunStats> LoadReportDirStats(const std::string& dir);
 StatusOr<RunStats> LoadCompileJsonStats(const std::string& path);
 StatusOr<RunStats> LoadBenchJsonStats(const std::string& path);
+// BENCH_exec.json from bench/fig_wallclock (top-level "workloads" object):
+// real wall-clock of fused-jit vs unfused-jit vs interpreter execution per
+// workload/model, plus the jit cache hit rate.
+StatusOr<RunStats> LoadExecJsonStats(const std::string& path);
 
 struct DiffOptions {
   // A key regresses when current > base * (1 + threshold) and the absolute

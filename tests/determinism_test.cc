@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/cpp_codegen.h"
+#include "src/codegen/triton_codegen.h"
 #include "src/core/engine.h"
 #include "src/core/program_store.h"
 #include "src/core/spacefusion.h"
@@ -124,6 +126,33 @@ TEST_F(DeterminismTest, CompileModelIdenticalAcrossJobCounts) {
   std::string parallel = fingerprint(8);
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
+}
+
+// Both code emitters — Triton text and the native C++ the JIT compiles —
+// must be byte-identical across job counts and across repeated compiles:
+// the jit cache content-addresses kernels by a hash of the emitted source,
+// so any nondeterminism here would shatter cache hit rates (and the
+// --emit-kernels artifacts would churn between CI runs).
+TEST_F(DeterminismTest, EmittedKernelSourceIdenticalAcrossJobCounts) {
+  Graph g = BuildMha(/*batch_heads=*/12, /*seq_q=*/128, /*seq_kv=*/128, /*head_dim=*/64);
+
+  auto emit = [&](int jobs) {
+    ResetGlobalThreadPool(jobs);
+    Compiler compiler{CompileOptions(AmpereA100())};
+    StatusOr<CompiledSubprogram> compiled = compiler.Compile(g);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    std::string triton = EmitTritonProgram(compiled->program);
+    StatusOr<std::string> cpp = EmitCppProgram(compiled->program);
+    EXPECT_TRUE(cpp.ok()) << cpp.status().ToString();
+    return triton + "\n=====\n" + (cpp.ok() ? cpp.value() : "");
+  };
+
+  std::string serial = emit(1);
+  std::string serial_again = emit(1);
+  std::string parallel = emit(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, serial_again) << "emitters are nondeterministic across repeated compiles";
+  EXPECT_EQ(serial, parallel) << "emitted kernel source depends on SPACEFUSION_JOBS";
 }
 
 // Regression pin for the Table 4/5 fix: simulated_tuning_seconds models the

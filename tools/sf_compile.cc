@@ -22,9 +22,12 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/cpp_codegen.h"
+#include "src/codegen/triton_codegen.h"
 #include "src/core/engine.h"
 #include "src/core/model_runner.h"
 #include "src/graph/models.h"
+#include "src/support/file_util.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
 
@@ -43,7 +46,8 @@ int Usage() {
       << "usage: sf-compile [--model NAME|all] [--batch N] [--seq N] [--arch NAME]\n"
          "                  [--mode off|phase|full] [--dump-after-pass PASS[,PASS...]|all]\n"
          "                  [--shared-cache] [--json PATH] [--report-dir DIR]\n"
-         "                  [--metrics] [--metrics-json] [--openmetrics] [--list]\n"
+         "                  [--emit-kernels DIR] [--metrics] [--metrics-json]\n"
+         "                  [--openmetrics] [--list]\n"
          "\n"
          "  --model           built-in model to compile (default: all)\n"
          "  --batch           batch size (default: 1)\n"
@@ -55,6 +59,9 @@ int Usage() {
          "  --json            write per-model timing/metrics JSON to PATH\n"
          "  --report-dir      write one CompileReport JSON per engine request to DIR\n"
          "                    (same as setting SPACEFUSION_REPORT_DIR)\n"
+         "  --emit-kernels    dump the generated code of every compiled kernel to DIR:\n"
+         "                    <model>-s<I>-k<J>.cc (native C++ the JIT builds, named\n"
+         "                    inside by its content-hash symbol) and .triton (GPU text)\n"
          "  --metrics         print the final MetricsSnapshot as text to stdout\n"
          "  --metrics-json    print the final MetricsSnapshot as JSON to stdout\n"
          "  --openmetrics     print the final snapshot as OpenMetrics exposition\n"
@@ -128,6 +135,33 @@ std::string ModelJson(const ModelResult& r, const CompilerEngine& engine) {
   return json;
 }
 
+// --emit-kernels: one .cc (the exact native C++ source the JIT compiles,
+// named inside by its content-hash symbol) and one .triton (GPU text) per
+// kernel of every unique subprogram. Returns pairs written.
+int EmitKernelSources(const std::string& dir, const std::string& model,
+                      const CompiledModel& compiled) {
+  int written = 0;
+  for (size_t s = 0; s < compiled.unique_subprograms.size(); ++s) {
+    const ScheduledProgram& program = compiled.unique_subprograms[s].program;
+    for (size_t k = 0; k < program.kernels.size(); ++k) {
+      const std::string base =
+          StrCat(dir, "/", model, "-s", static_cast<int>(s), "-k", static_cast<int>(k));
+      StatusOr<CppKernel> cpp = EmitCppKernel(program.kernels[k]);
+      Status cc_written = cpp.ok() ? AtomicWriteFile(base + ".cc", cpp.value().source)
+                                   : cpp.status();
+      Status triton_written =
+          AtomicWriteFile(base + ".triton", EmitTritonKernel(program.kernels[k]));
+      if (cc_written.ok() && triton_written.ok()) {
+        ++written;
+      } else {
+        std::cerr << "sf-compile: --emit-kernels failed for " << base << ": "
+                  << (cc_written.ok() ? triton_written : cc_written).ToString() << "\n";
+      }
+    }
+  }
+  return written;
+}
+
 int Run(int argc, char** argv) {
   std::string model_arg = "all";
   std::int64_t batch = 1;
@@ -135,6 +169,7 @@ int Run(int argc, char** argv) {
   GpuArch arch = AmpereA100();
   VerifyMode mode = VerifyModeFromEnv(VerifyMode::kPhase);
   std::string json_path;
+  std::string emit_kernels_dir;
   bool shared_cache = false;
   bool print_metrics = false;
   bool print_metrics_json = false;
@@ -197,6 +232,8 @@ int Run(int argc, char** argv) {
       setenv("SPACEFUSION_DUMP_AFTER_PASS", value.c_str(), /*overwrite=*/1);
     } else if (flag == "--json") {
       json_path = value;
+    } else if (flag == "--emit-kernels") {
+      emit_kernels_dir = value;
     } else if (flag == "--report-dir") {
       // EnvReportSink reads the variable lazily at the first emit, so the
       // flag is just a setenv, like --dump-after-pass.
@@ -272,6 +309,10 @@ int Run(int argc, char** argv) {
         r.compiled.compile_time.enum_cfg_ms, r.compiled.compile_time.tuning_s,
         r.compiled.compile_time.total_s(), r.wall_ms, static_cast<long long>(cache.hits),
         static_cast<long long>(cache.misses), static_cast<long long>(cache.collisions));
+    if (!emit_kernels_dir.empty()) {
+      int pairs = EmitKernelSources(emit_kernels_dir, r.model, r.compiled);
+      std::printf("  emitted %d kernel source pair(s) to %s\n", pairs, emit_kernels_dir.c_str());
+    }
   }
   json += StrCat("],\n\"metrics\":", MetricsRegistry::Global().Snapshot().ToJson(), "}\n");
 

@@ -1,7 +1,8 @@
 // sf-stats: aggregate and diff compile observability artifacts.
 //
 // Summarizes one run — a SPACEFUSION_REPORT_DIR of CompileReports, an
-// sf-compile --json file, or a BENCH_compile.json — printing outcome
+// sf-compile --json file, a BENCH_compile.json, or a BENCH_exec.json
+// wall-clock execution benchmark — printing outcome
 // counts and the top-N slowest models/passes; or diffs two runs and flags
 // compile-time regressions. Diffs compare only deterministic modeled
 // quantities unless --include-wall is given, so a CI gate against a
@@ -30,7 +31,8 @@ int Usage() {
                "\n"
                "  RUN / BASE / CURRENT  a report directory (SPACEFUSION_REPORT_DIR), an\n"
                "                        sf-compile --json file, a single *.report.json,\n"
-               "                        or a BENCH_compile.json from sf-bench-json\n"
+               "                        a BENCH_compile.json from sf-bench-json, or a\n"
+               "                        BENCH_exec.json from fig_wallclock\n"
                "  --top N               how many slowest models/passes to list (default 5)\n"
                "  --threshold PCT       regression threshold in percent (default 10)\n"
                "  --include-wall        also diff wall-clock keys (machine dependent)\n"
