@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "src/exec/jit_executor.h"
+#include "src/obs/report.h"
 
 namespace spacefusion {
 namespace {
@@ -146,6 +147,19 @@ int Run(int argc, char** argv) {
                 t.interpret_us, speedup);
     RecordBenchValue(w.name + "/fused_jit_us", t.fused_us);
     RecordBenchValue(w.name + "/unfused_jit_us", t.unfused_us);
+    // The measured fused/unfused ratio goes out as a CompileReport (when
+    // SPACEFUSION_REPORT_DIR is set): the calibration record that pairs the
+    // modeled cost path with a real wall-clock observation.
+    if (ReportSink* sink = EnvReportSink(); sink != nullptr) {
+      CompileReport measured;
+      measured.request_id = "wallclock-" + w.name;
+      measured.model = w.name;
+      measured.graph_fingerprint = w.graph.StructuralHash();
+      measured.outcome = "measured";
+      measured.wall_ms = t.fused_us / 1000.0;
+      measured.measured_speedup = speedup;
+      sink->Emit(measured);
+    }
     if (!workloads_json.empty()) {
       workloads_json += ",";
     }

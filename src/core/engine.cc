@@ -83,6 +83,7 @@ void FillResultSummary(const CompiledSubprogram& compiled, CompileReport* report
     report->reg_bytes = std::max(report->reg_bytes, kernel.memory.reg_bytes);
   }
   report->modeled_time_us = compiled.estimate.time_us;
+  report->transfer_seeded = compiled.tuning.configs_transfer_seeded;
 }
 
 void AddLabeledCounter(const char* base, const std::string& request_id) {
@@ -128,6 +129,14 @@ std::uint64_t CompileOptionsDigest(const CompileOptions& options) {
   MixInto(&h, options.tuner.enable_early_quit ? 19u : 23u);
   MixInto(&h, static_cast<std::uint64_t>(static_cast<std::int64_t>(options.tuner.screen_top_k)));
   MixInto(&h, DoubleBits(options.tuner.screen_epsilon));
+  // tuner.transfer_prior is deliberately excluded (like `analyze`): a prior
+  // reorders the modeled measurement schedule but never changes the selected
+  // program, so cache keys are identical with or without one.
+  if (!options.shape_bucket.empty()) {
+    // Mixed only when set, so shape-agnostic digests are unchanged from the
+    // pre-bucket format and existing caches stay warm.
+    MixString(&h, options.shape_bucket);
+  }
   return h;
 }
 
@@ -258,6 +267,11 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
   report->model = model_name;
   report->graph_fingerprint = fingerprint;
   report->options_digest = digest;
+  // Subprogram graphs are built at the bucket shape, so at this level the
+  // shape *is* the bucket; CompileModelForShape stamps the exact request
+  // shape onto the model-level report.
+  report->shape = options.shape_bucket;
+  report->bucket = options.shape_bucket;
   FlightRecorder::Global().Record(
       report->request_id, "engine",
       StrCat("request start: graph ", graph.name(), ", ", graph.ops().size(), " op(s)"));
@@ -306,6 +320,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
       cached.request_id = report->request_id;
       FillResultSummary(cached, report);
       report->outcome = "cache_hit";
+      report->bucket_hit = !options.shape_bucket.empty();
       PrewarmJit(cached, report);
       report->wall_ms = MsSince(request_start);
       FlightRecorder::Global().Record(report->request_id, "engine",
@@ -330,8 +345,9 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
     if (persistent_ != nullptr) {
       CompiledSubprogram from_disk;
       std::string detail;
-      const PersistentProgramCache::LoadResult loaded = persistent_->Load(
-          fingerprint, digest, options.arch.name, canonical, &from_disk, &detail);
+      const PersistentProgramCache::LoadResult loaded =
+          persistent_->Load(fingerprint, digest, options.arch.name, canonical, &from_disk,
+                            &detail, options.shape_bucket);
       switch (loaded) {
         case PersistentProgramCache::LoadResult::kHit: {
           {
@@ -356,6 +372,7 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
           from_disk.request_id = report->request_id;
           FillResultSummary(from_disk, report);
           report->outcome = "persistent_hit";
+          report->bucket_hit = !options.shape_bucket.empty();
           PrewarmJit(from_disk, report);
           report->wall_ms = MsSince(request_start);
           FlightRecorder::Global().Record(report->request_id, "engine",
@@ -439,8 +456,8 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileWithReport(const Graph& grap
     } else {
       // Best effort: a full disk or unwritable directory costs persistence,
       // never the compile result.
-      Status stored =
-          persistent_->Store(fingerprint, digest, options.arch.name, canonical, result);
+      Status stored = persistent_->Store(fingerprint, digest, options.arch.name, canonical,
+                                         result, options.shape_bucket);
       if (stored.ok()) {
         SF_COUNTER_ADD("engine.cache.persistent_stores", 1);
       } else {
@@ -514,8 +531,10 @@ StatusOr<CompiledSubprogram> CompilerEngine::CompileUncached(const Graph& graph,
   best.tuning.configs_enumerated = state.enumerated_configs;
   best.tuning.configs_screened = state.configs_screened;
   best.tuning.configs_tried = state.configs_tried;
+  best.tuning.configs_transfer_seeded = state.configs_transfer_seeded;
   best.tuning.best_time_us = best.estimate.time_us;
   best.tuning.simulated_tuning_seconds = state.total_tuning_s;
+  best.tuned_kernels = std::move(state.tuned_kernels);
   compile_span.Arg("configs_screened", state.configs_screened)
       .Arg("configs_tried", state.configs_tried)
       .Arg("best_us", best.estimate.time_us);
@@ -587,6 +606,9 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
       out.report.jit_kernels_built += sub_report.jit_kernels_built;
       out.report.jit_kernels_cached += sub_report.jit_kernels_cached;
       out.report.jit_build_ms += sub_report.jit_build_ms;
+      out.report.transfer_seeded += sub_report.transfer_seeded;
+      out.report.shape = sub_report.shape;
+      out.report.bucket = sub_report.bucket;
       compiled_index.emplace(key, out.unique_subprograms.size());
       out.unique_subprograms.push_back(std::move(compiled));
       it = compiled_index.find(key);
@@ -602,12 +624,113 @@ StatusOr<CompiledModel> CompilerEngine::CompileModel(const ModelGraph& model,
   out.report.outcome = any_cold || out.unique_subprograms.empty() ? "cold"
                        : any_persistent                           ? "persistent_hit"
                                                                   : "cache_hit";
+  out.report.bucket_hit = !out.report.bucket.empty() && !any_cold && !out.unique_subprograms.empty();
   out.report.modeled_time_us = out.total.time_us;
   out.report.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - model_start)
           .count();
   model_span.Arg("cache_hits", out.cache_hits).Arg("total_us", out.total.time_us);
   out.metrics = MetricsRegistry::Global().Snapshot();
+  return out;
+}
+
+std::vector<std::string> CompilerEngine::TransferPriorFor(std::uint64_t signature,
+                                                          const ShapeKey& bucket) const {
+  MutexLock lock(transfer_mu_);
+  auto it = transfer_.find(signature);
+  if (it == transfer_.end()) {
+    return {};
+  }
+  const TransferEntry* best = nullptr;
+  double best_dist = 0.0;
+  for (const TransferEntry& entry : it->second) {
+    if (entry.bucket == bucket) {
+      // The same bucket is served by the structural cache; when the tuner
+      // runs at all, only *neighboring* buckets can help.
+      continue;
+    }
+    const double dist = BucketDistance(entry.bucket, bucket);
+    if (best == nullptr || dist < best_dist ||
+        (dist == best_dist && entry.bucket.Label() < best->bucket.Label())) {
+      best = &entry;
+      best_dist = dist;
+    }
+  }
+  return best != nullptr ? best->configs : std::vector<std::string>();
+}
+
+void CompilerEngine::RecordTransferConfigs(const CompiledModel& compiled, const ShapeKey& bucket) {
+  MutexLock lock(transfer_mu_);
+  for (const CompiledSubprogram& sub : compiled.unique_subprograms) {
+    for (const TunedKernelRecord& record : sub.tuned_kernels) {
+      std::vector<TransferEntry>& entries = transfer_[record.signature];
+      bool replaced = false;
+      for (TransferEntry& entry : entries) {
+        if (entry.bucket == bucket) {
+          entry.configs = record.admitted_configs;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        entries.push_back(TransferEntry{bucket, record.admitted_configs});
+      }
+    }
+  }
+}
+
+StatusOr<ShapeCompileResult> CompilerEngine::CompileModelForShape(ModelKind kind,
+                                                                  const ShapeKey& shape) {
+  return CompileModelForShape(kind, shape, options_.compile);
+}
+
+StatusOr<ShapeCompileResult> CompilerEngine::CompileModelForShape(ModelKind kind,
+                                                                  const ShapeKey& shape,
+                                                                  const CompileOptions& options) {
+  return CompileModelForShape(kind, shape, options, BucketingPolicy::FromEnv());
+}
+
+StatusOr<ShapeCompileResult> CompilerEngine::CompileModelForShape(ModelKind kind,
+                                                                  const ShapeKey& shape,
+                                                                  const CompileOptions& base,
+                                                                  const BucketingPolicy& policy) {
+  ScopedSpan span("engine.compile_for_shape");
+  ShapeCompileResult out;
+  out.bucketed = BuildModelBucketed(kind, shape, policy);
+  const ShapeKey bucket_key = out.bucketed.bucket_key;
+  span.Arg("model", out.bucketed.exact.name)
+      .Arg("shape", shape.Label())
+      .Arg("bucket", bucket_key.Label());
+
+  CompileOptions options = base;
+  options.shape_bucket = bucket_key.Label();
+  const GpuArch arch = options.arch;
+  const ResourceConfig rc = ResourceConfig::FromArch(options.arch);
+  options.tuner.transfer_prior = [this, bucket_key, arch, rc](const SmgSchedule& schedule) {
+    return TransferPriorFor(TransferSignature(schedule, arch, rc), bucket_key);
+  };
+
+  SF_ASSIGN_OR_RETURN(out.compiled, CompileModel(out.bucketed.model, options));
+  RecordTransferConfigs(out.compiled, bucket_key);
+  out.bucket_hit = out.compiled.report.bucket_hit;
+  out.transfer_seeded = out.compiled.report.transfer_seeded;
+  // The model-level report distinguishes the request shape from its bucket;
+  // per-subprogram reports (already emitted) carry the bucket in both.
+  out.compiled.report.shape = shape.Label();
+
+  {
+    MutexLock lock(cache_mu_);
+    if (out.bucket_hit) {
+      ++stats_.bucket_hits;
+    } else {
+      ++stats_.bucket_misses;
+    }
+    stats_.transfer_seeded += out.transfer_seeded;
+  }
+  SF_COUNTER_ADD(out.bucket_hit ? "engine.bucket.hits" : "engine.bucket.misses", 1);
+  if (out.transfer_seeded > 0) {
+    SF_COUNTER_ADD("engine.bucket.transfer_seeded", out.transfer_seeded);
+  }
   return out;
 }
 

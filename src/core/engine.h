@@ -27,6 +27,8 @@
 #include "src/codegen/jit_cache.h"
 #include "src/core/compiler.h"
 #include "src/core/program_store.h"
+#include "src/graph/models.h"
+#include "src/graph/shape_bucket.h"
 #include "src/obs/report.h"
 #include "src/pass/pass.h"
 #include "src/sim/cost_cache.h"
@@ -42,6 +44,23 @@ std::uint64_t CompileOptionsDigest(const CompileOptions& options);
 // The SPACEFUSION_CACHE_DIR environment variable, read fresh on every call
 // ("" when unset) so tests and daemons can repoint it between engines.
 std::string CacheDirFromEnv();
+
+// What CompileModelForShape returns: the bucket's compiled programs plus
+// everything runtime dispatch needs to serve the exact request shape.
+struct ShapeCompileResult {
+  // Graphs + padding layouts at the bucket shape, exact + bucket configs.
+  BucketedModel bucketed;
+  // One compiled program per unique bucket subprogram. The model-level
+  // report carries shape ( = the request), bucket, bucket_hit and
+  // transfer_seeded.
+  CompiledModel compiled;
+  // True when every subprogram was served from a cache (in-memory or
+  // persistent): the request ran zero tuner invocations.
+  bool bucket_hit = false;
+  // Admitted configs the tuner measured first because a neighboring
+  // bucket's prior named them (0 on warm requests — nothing was tuned).
+  std::int64_t transfer_seeded = 0;
+};
 
 struct EngineOptions {
   // Default options for Compile/CompileModel calls without per-request ones.
@@ -103,6 +122,10 @@ class CompilerEngine {
     std::int64_t persistent_stale = 0;    // entry decoded but keys mismatched
     std::int64_t persistent_corrupt = 0;  // entry failed checksum/validation
     std::int64_t analysis_rejected = 0;   // race analysis refused persistence
+    // Shape-bucket traffic (CompileModelForShape requests only).
+    std::int64_t bucket_hits = 0;      // served with zero tuner invocations
+    std::int64_t bucket_misses = 0;    // at least one subprogram tuned cold
+    std::int64_t transfer_seeded = 0;  // configs seeded from a neighbor bucket
   };
 
   explicit CompilerEngine(EngineOptions options);
@@ -121,6 +144,19 @@ class CompilerEngine {
   // compile-once statistic); cross-model reuse shows up in engine.cache.*.
   StatusOr<CompiledModel> CompileModel(const ModelGraph& model);
   StatusOr<CompiledModel> CompileModel(const ModelGraph& model, const CompileOptions& options);
+
+  // Shape-bucketed compile: builds `kind` at the bucket `policy` (default:
+  // BucketingPolicy::FromEnv()) assigns to `shape`, compiles one program per
+  // unique bucket subprogram with the cache/persistent keys tagged by the
+  // bucket, and seeds the tuner's measurement order with the admitted
+  // configs of the nearest already-tuned bucket. A second shape falling into
+  // an already-compiled bucket is a pure cache hit: zero tuner invocations.
+  StatusOr<ShapeCompileResult> CompileModelForShape(ModelKind kind, const ShapeKey& shape);
+  StatusOr<ShapeCompileResult> CompileModelForShape(ModelKind kind, const ShapeKey& shape,
+                                                    const CompileOptions& options);
+  StatusOr<ShapeCompileResult> CompileModelForShape(ModelKind kind, const ShapeKey& shape,
+                                                    const CompileOptions& options,
+                                                    const BucketingPolicy& policy);
 
   // Fused subgraphs with >=2 All-to-One mappings seen so far, deduplicated
   // by operator topology (Table 6's counting rule), across every request
@@ -179,6 +215,25 @@ class CompilerEngine {
 
   Mutex cost_caches_mu_;
   std::map<std::uint64_t, std::unique_ptr<CostCache>> cost_caches_ SF_GUARDED_BY(cost_caches_mu_);
+
+  // Cross-bucket config-transfer store: shape-free kernel signature ->
+  // per-bucket admitted configs (best measured first). Filled by cold
+  // bucketed compiles, read by the tuner prior of later buckets. In-memory
+  // only: a restarted daemon rebuilds it as buckets compile cold (warm
+  // requests never tune, so they never need a prior).
+  struct TransferEntry {
+    ShapeKey bucket;
+    std::vector<std::string> configs;
+  };
+  // The nearest tuned bucket's configs for `signature` (BucketDistance to
+  // `bucket`, lexicographic label tie-break; the same bucket is skipped —
+  // that case is a structural cache hit and never reaches the tuner).
+  std::vector<std::string> TransferPriorFor(std::uint64_t signature, const ShapeKey& bucket) const;
+  // Records every tuned kernel of `compiled` under `bucket`.
+  void RecordTransferConfigs(const CompiledModel& compiled, const ShapeKey& bucket);
+
+  mutable Mutex transfer_mu_;
+  std::map<std::uint64_t, std::vector<TransferEntry>> transfer_ SF_GUARDED_BY(transfer_mu_);
 
   FusionPatternRecorder fusion_;
 };

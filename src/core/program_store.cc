@@ -25,7 +25,10 @@ void SerializeCompiledSubprogram(const CompiledSubprogram& sub, ByteWriter* w) {
   w->F64(sub.tuning.best_time_us);
   w->F64(sub.tuning.simulated_tuning_seconds);
   w->I32(sub.candidate_programs);
-  // request_id intentionally omitted (see header).
+  // request_id and the transfer-store fields (tuned_kernels,
+  // tuning.{configs_transfer_seeded,transfer_signature,admitted_configs})
+  // intentionally omitted (see header): they describe one past process's
+  // tuning run, and omitting them keeps decode + re-encode byte-identical.
 }
 
 Status DeserializeCompiledSubprogram(ByteReader* r, CompiledSubprogram* sub) {
@@ -93,6 +96,7 @@ std::string EncodePersistedProgram(const PersistedProgram& program) {
   payload.U64(program.options_digest);
   payload.U64(program.fingerprint);
   payload.Str(program.canonical);
+  payload.Str(program.bucket);
   SerializeCompiledSubprogram(program.compiled, &payload);
 
   ByteWriter blob;
@@ -139,6 +143,10 @@ Status DecodePersistedProgram(const std::string& bytes, PersistedProgram* progra
   SF_RETURN_IF_ERROR(r.U64(&out.options_digest));
   SF_RETURN_IF_ERROR(r.U64(&out.fingerprint));
   SF_RETURN_IF_ERROR(r.Str(&out.canonical));
+  if (version >= 2) {
+    // v1 blobs predate shape buckets; their bucket reads back empty.
+    SF_RETURN_IF_ERROR(r.Str(&out.bucket));
+  }
   SF_RETURN_IF_ERROR(DeserializeCompiledSubprogram(&r, &out.compiled));
   if (!r.AtEnd()) {
     return DataLoss(StrCat(r.remaining(), " trailing byte(s) after program payload"));
@@ -158,7 +166,8 @@ std::string PersistentProgramCache::EntryPath(std::uint64_t fingerprint,
 
 PersistentProgramCache::LoadResult PersistentProgramCache::Load(
     std::uint64_t fingerprint, std::uint64_t digest, const std::string& arch,
-    const std::string& canonical, CompiledSubprogram* out, std::string* detail) const {
+    const std::string& canonical, CompiledSubprogram* out, std::string* detail,
+    const std::string& bucket) const {
   StatusOr<std::string> bytes = ReadFileToString(EntryPath(fingerprint, digest));
   if (!bytes.ok()) {
     if (detail != nullptr) {
@@ -178,10 +187,11 @@ PersistentProgramCache::LoadResult PersistentProgramCache::Load(
   // plus the arch name and the full canonical graph form — catches renamed
   // files, digest-function drift, and fingerprint aliasing.
   if (program.fingerprint != fingerprint || program.options_digest != digest ||
-      program.arch != arch || program.canonical != canonical) {
+      program.arch != arch || program.canonical != canonical || program.bucket != bucket) {
     if (detail != nullptr) {
       *detail = StrCat("stale entry: written for arch ", program.arch, ", digest ",
-                       program.options_digest, ", fingerprint ", program.fingerprint);
+                       program.options_digest, ", fingerprint ", program.fingerprint,
+                       ", bucket \"", program.bucket, "\"");
     }
     return LoadResult::kStale;
   }
@@ -191,12 +201,14 @@ PersistentProgramCache::LoadResult PersistentProgramCache::Load(
 
 Status PersistentProgramCache::Store(std::uint64_t fingerprint, std::uint64_t digest,
                                      const std::string& arch, const std::string& canonical,
-                                     const CompiledSubprogram& compiled) const {
+                                     const CompiledSubprogram& compiled,
+                                     const std::string& bucket) const {
   PersistedProgram program;
   program.arch = arch;
   program.options_digest = digest;
   program.fingerprint = fingerprint;
   program.canonical = canonical;
+  program.bucket = bucket;
   program.compiled = compiled;
   return AtomicWriteFile(EntryPath(fingerprint, digest), EncodePersistedProgram(program));
 }

@@ -40,7 +40,11 @@ void SerializeCompiledModel(const CompiledModel& model, ByteWriter* w);
 Status DeserializeCompiledModel(ByteReader* r, CompiledModel* model);
 
 inline constexpr char kProgramBlobMagic[4] = {'S', 'F', 'P', 'C'};
-inline constexpr std::uint32_t kProgramBlobSchemaVersion = 1;
+// v2 adds the shape-bucket tag to the payload key context. v1 blobs still
+// decode (bucket reads back empty), so a pre-bucket cache keeps serving
+// shape-agnostic compiles and goes stale — a silent cold fallback — only
+// when a bucketed compile asks for it.
+inline constexpr std::uint32_t kProgramBlobSchemaVersion = 2;
 
 // One cache entry with its full key context.
 struct PersistedProgram {
@@ -48,6 +52,7 @@ struct PersistedProgram {
   std::uint64_t options_digest = 0;  // CompileOptionsDigest
   std::uint64_t fingerprint = 0;     // engine fingerprint of the graph
   std::string canonical;             // Graph::CanonicalForm of the graph
+  std::string bucket;                // CompileOptions::shape_bucket ("" = none)
   CompiledSubprogram compiled;
 };
 
@@ -82,12 +87,16 @@ class PersistentProgramCache {
 
   // Best-effort load; everything except kHit leaves *out untouched and, for
   // kStale/kCorrupt, puts a human-readable reason in *detail when non-null.
+  // `bucket` is the requesting compile's shape bucket ("" = shape-agnostic);
+  // an entry written for a different bucket is stale even if every other
+  // key component matches.
   LoadResult Load(std::uint64_t fingerprint, std::uint64_t digest, const std::string& arch,
                   const std::string& canonical, CompiledSubprogram* out,
-                  std::string* detail = nullptr) const;
+                  std::string* detail = nullptr, const std::string& bucket = "") const;
 
   Status Store(std::uint64_t fingerprint, std::uint64_t digest, const std::string& arch,
-               const std::string& canonical, const CompiledSubprogram& compiled) const;
+               const std::string& canonical, const CompiledSubprogram& compiled,
+               const std::string& bucket = "") const;
 
  private:
   std::string dir_;

@@ -138,6 +138,131 @@ ModelGraph BuildModel(const ModelConfig& config) {
   return model;
 }
 
+namespace {
+
+// tokens = batch*seq rows by a fixed feature column.
+TensorLayout TokensByFixed(const char* name, std::int64_t fixed) {
+  TensorLayout layout;
+  layout.name = name;
+  layout.dims.push_back({SubDim{DimAxis::kBatch, 1}, SubDim{DimAxis::kSeq, 1}});
+  layout.dims.push_back({SubDim{DimAxis::kFixed, fixed}});
+  return layout;
+}
+
+// bh = batch*heads, then seq, then head_dim.
+TensorLayout BhSeqHead(const char* name, std::int64_t heads, std::int64_t head_dim) {
+  TensorLayout layout;
+  layout.name = name;
+  layout.dims.push_back({SubDim{DimAxis::kBatch, 1}, SubDim{DimAxis::kFixed, heads}});
+  layout.dims.push_back({SubDim{DimAxis::kSeq, 1}});
+  layout.dims.push_back({SubDim{DimAxis::kFixed, head_dim}});
+  return layout;
+}
+
+TensorLayout AttnMask(const char* name) {
+  TensorLayout layout;
+  layout.name = name;
+  layout.dims.push_back({SubDim{DimAxis::kSeq, 1}});
+  layout.dims.push_back({SubDim{DimAxis::kSeq, 1}});
+  layout.attn_mask = true;
+  return layout;
+}
+
+SubprogramLayout QkvLayout(const ModelConfig& c) {
+  SubprogramLayout layout;
+  layout.inputs.push_back(TokensByFixed("x", c.hidden));
+  for (const char* which : {"q", "k", "v"}) {
+    layout.outputs.push_back(TokensByFixed(which, c.hidden));
+  }
+  return layout;
+}
+
+SubprogramLayout MhaLayout(const ModelConfig& c) {
+  SubprogramLayout layout;
+  layout.inputs.push_back(BhSeqHead("query", c.heads, c.head_dim()));
+  layout.inputs.push_back(BhSeqHead("key", c.heads, c.head_dim()));
+  layout.inputs.push_back(BhSeqHead("value", c.heads, c.head_dim()));
+  layout.inputs.push_back(AttnMask("mask"));
+  layout.outputs.push_back(BhSeqHead("out", c.heads, c.head_dim()));
+  return layout;
+}
+
+SubprogramLayout AttnOutLayout(const ModelConfig& c) {
+  SubprogramLayout layout;
+  layout.inputs.push_back(TokensByFixed("attn", c.hidden));
+  layout.inputs.push_back(TokensByFixed("residual", c.hidden));
+  layout.outputs.push_back(TokensByFixed("out", c.hidden));
+  return layout;
+}
+
+SubprogramLayout FfnLayout(const ModelConfig& c) {
+  SubprogramLayout layout;
+  layout.inputs.push_back(TokensByFixed("x", c.hidden));
+  layout.outputs.push_back(TokensByFixed("out", c.hidden));
+  return layout;
+}
+
+}  // namespace
+
+BucketedModel BuildModelBucketed(ModelKind kind, const ShapeKey& shape,
+                                 const BucketingPolicy& policy) {
+  BucketedModel bm;
+  bm.shape = shape;
+  bm.bucket_key = policy.BucketFor(shape);
+  bm.exact = GetModelConfig(kind, shape.batch, shape.seq);
+  bm.bucket = GetModelConfig(kind, bm.bucket_key.batch, bm.bucket_key.seq);
+
+  const ModelConfig& c = bm.bucket;
+  bm.model.config = c;
+  const std::int64_t tokens = c.tokens();
+  const std::int64_t bh = c.batch * c.heads;
+
+  auto append_layer_stack = [&](int layers) {
+    // Same segmentation as BuildModel, but attention is *always* masked:
+    // padded kv columns are neutralized through the mask tensor, so the
+    // graph structure is identical for every shape in the bucket.
+    bm.model.subprograms.push_back({BuildQkvProj(tokens, c.hidden, c.hidden), layers});
+    bm.layouts.push_back(QkvLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildMha(bh, c.seq, c.seq, c.head_dim(), /*masked=*/true), layers});
+    bm.layouts.push_back(MhaLayout(c));
+    bm.model.subprograms.push_back({BuildAttnOut(tokens, c.hidden, c.norm), layers});
+    bm.layouts.push_back(AttnOutLayout(c));
+    if (c.gated_ffn) {
+      bm.model.subprograms.push_back({BuildSwigluFfn(tokens, c.hidden, c.ffn_dim), layers});
+    } else {
+      bm.model.subprograms.push_back(
+          {BuildFfn(tokens, c.hidden, c.ffn_dim, c.activation, c.norm), layers});
+    }
+    bm.layouts.push_back(FfnLayout(c));
+  };
+
+  append_layer_stack(c.num_layers);
+
+  if (c.decoder_layers > 0) {
+    // Decoder: causal self-attention + cross-attention + FFN, all masked.
+    bm.model.subprograms.push_back(
+        {BuildQkvProj(tokens, c.hidden, c.hidden), c.decoder_layers});
+    bm.layouts.push_back(QkvLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildMha(bh, c.seq, c.seq, c.head_dim(), /*masked=*/true), c.decoder_layers});
+    bm.layouts.push_back(MhaLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildAttnOut(tokens, c.hidden, c.norm), c.decoder_layers});
+    bm.layouts.push_back(AttnOutLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildMha(bh, c.seq, c.seq, c.head_dim(), /*masked=*/true), c.decoder_layers});
+    bm.layouts.push_back(MhaLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildAttnOut(tokens, c.hidden, c.norm), c.decoder_layers});
+    bm.layouts.push_back(AttnOutLayout(c));
+    bm.model.subprograms.push_back(
+        {BuildFfn(tokens, c.hidden, c.ffn_dim, c.activation, c.norm), c.decoder_layers});
+    bm.layouts.push_back(FfnLayout(c));
+  }
+  return bm;
+}
+
 std::vector<ModelKind> AllModelKinds() {
   return {ModelKind::kBert, ModelKind::kAlbert, ModelKind::kT5, ModelKind::kViT,
           ModelKind::kLlama2};

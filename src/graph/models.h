@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/shape_bucket.h"
 #include "src/graph/subgraphs.h"
 
 namespace spacefusion {
@@ -63,6 +64,37 @@ ModelGraph BuildModel(const ModelConfig& config);
 
 // All five evaluated models.
 std::vector<ModelKind> AllModelKinds();
+
+// ---- Shape-bucketed factory (dynamic shapes) -----------------------------
+
+// A model built at its *bucket* shape, plus everything the runtime dispatch
+// layer needs to serve the exact request shape from it: the exact and bucket
+// configs and a per-subprogram padding layout. Unlike BuildModel, every
+// attention core carries the additive mask input regardless of
+// ModelConfig::causal_mask — masking is how padded key/value columns are
+// neutralized, so the bucketed graphs are structurally mask-invariant and a
+// causal vs. padding vs. no-op mask is purely a runtime tensor value.
+struct BucketedModel {
+  ShapeKey shape;        // the request shape (raw axis; image side for ViT)
+  ShapeKey bucket_key;   // policy.BucketFor(shape)
+  ModelConfig exact;     // config at the request shape (seq derived for ViT)
+  ModelConfig bucket;    // config at the bucket shape
+  ModelGraph model;      // graphs built at the bucket extents
+  // Parallel to model.subprograms: positional padding rules for each
+  // subprogram's inputs and outputs.
+  std::vector<SubprogramLayout> layouts;
+
+  AxisExtents ExactExtents() const { return {exact.batch, exact.seq}; }
+  AxisExtents BucketExtents() const { return {bucket.batch, bucket.seq}; }
+};
+
+// Builds `kind` at the bucket that `policy` assigns to `shape`. With
+// BucketingPolicy::Identity() this is the exact-shape reference compile the
+// differential suite checks dispatch against. Graphs built by this factory
+// for two shapes in the same bucket are structurally identical, which is
+// what turns a new shape in a tuned bucket into a pure cache hit.
+BucketedModel BuildModelBucketed(ModelKind kind, const ShapeKey& shape,
+                                 const BucketingPolicy& policy);
 
 }  // namespace spacefusion
 

@@ -1,0 +1,259 @@
+#include "src/graph/shape_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace spacefusion {
+
+std::string ShapeKey::Label() const { return StrCat("b", batch, "s", seq); }
+
+StatusOr<ShapeKey> ParseShapeLabel(const std::string& label) {
+  // Format: b<batch>s<seq>, both positive decimal integers.
+  size_t s_pos = label.find('s', 1);
+  if (label.size() < 4 || label[0] != 'b' || s_pos == std::string::npos) {
+    return InvalidArgument("malformed shape label: \"" + label + "\"");
+  }
+  ShapeKey key;
+  char* end = nullptr;
+  const std::string batch_str = label.substr(1, s_pos - 1);
+  const std::string seq_str = label.substr(s_pos + 1);
+  key.batch = std::strtoll(batch_str.c_str(), &end, 10);
+  if (batch_str.empty() || *end != '\0' || key.batch < 1) {
+    return InvalidArgument("malformed shape label: \"" + label + "\"");
+  }
+  key.seq = std::strtoll(seq_str.c_str(), &end, 10);
+  if (seq_str.empty() || *end != '\0' || key.seq < 1) {
+    return InvalidArgument("malformed shape label: \"" + label + "\"");
+  }
+  return key;
+}
+
+std::int64_t RoundUpPow2(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+BucketingPolicy BucketingPolicy::PowersOfTwo() { return BucketingPolicy(); }
+
+BucketingPolicy BucketingPolicy::Identity() {
+  BucketingPolicy policy;
+  policy.identity_ = true;
+  return policy;
+}
+
+StatusOr<BucketingPolicy> BucketingPolicy::FromSpec(const std::string& spec) {
+  BucketingPolicy policy;
+  for (const std::string& piece : StrSplit(spec, ',')) {
+    char* end = nullptr;
+    const std::int64_t bucket = std::strtoll(piece.c_str(), &end, 10);
+    if (piece.empty() || *end != '\0' || bucket < 1) {
+      return InvalidArgument("SPACEFUSION_SHAPE_BUCKETS: \"" + piece +
+                             "\" is not a positive integer in \"" + spec + "\"");
+    }
+    if (!policy.seq_buckets_.empty() && bucket <= policy.seq_buckets_.back()) {
+      return InvalidArgument("SPACEFUSION_SHAPE_BUCKETS: buckets must be strictly ascending in \"" +
+                             spec + "\"");
+    }
+    policy.seq_buckets_.push_back(bucket);
+  }
+  if (policy.seq_buckets_.empty()) {
+    return InvalidArgument("SPACEFUSION_SHAPE_BUCKETS: empty bucket list");
+  }
+  return policy;
+}
+
+BucketingPolicy BucketingPolicy::FromEnv() {
+  const char* spec = std::getenv("SPACEFUSION_SHAPE_BUCKETS");
+  if (spec == nullptr || *spec == '\0') {
+    return PowersOfTwo();
+  }
+  StatusOr<BucketingPolicy> parsed = FromSpec(spec);
+  if (!parsed.ok()) {
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      SF_LOG(Warning) << parsed.status().ToString() << "; using power-of-two buckets";
+    });
+    return PowersOfTwo();
+  }
+  return std::move(parsed).value();
+}
+
+ShapeKey BucketingPolicy::BucketFor(const ShapeKey& shape) const {
+  if (identity_) {
+    return shape;
+  }
+  ShapeKey bucket;
+  bucket.batch = RoundUpPow2(shape.batch);
+  bucket.seq = RoundUpPow2(shape.seq);
+  // An explicit seq list wins up to its largest bucket; beyond it the
+  // power-of-two fallback keeps every shape routable.
+  for (std::int64_t b : seq_buckets_) {
+    if (b >= shape.seq) {
+      bucket.seq = b;
+      break;
+    }
+  }
+  return bucket;
+}
+
+std::string BucketingPolicy::ToString() const {
+  if (identity_) {
+    return "identity";
+  }
+  if (seq_buckets_.empty()) {
+    return "pow2";
+  }
+  std::string out = "seq{";
+  for (size_t i = 0; i < seq_buckets_.size(); ++i) {
+    out += (i > 0 ? "," : "") + StrCat(seq_buckets_[i]);
+  }
+  return out + "}+pow2";
+}
+
+double BucketDistance(const ShapeKey& a, const ShapeKey& b) {
+  return std::abs(std::log2(static_cast<double>(a.seq)) - std::log2(static_cast<double>(b.seq))) +
+         std::abs(std::log2(static_cast<double>(a.batch)) -
+                  std::log2(static_cast<double>(b.batch)));
+}
+
+std::int64_t SubDimExtent(const SubDim& sub, const AxisExtents& extents) {
+  switch (sub.axis) {
+    case DimAxis::kFixed:
+      return sub.extent;
+    case DimAxis::kBatch:
+      return extents.batch;
+    case DimAxis::kSeq:
+      return extents.seq;
+  }
+  return sub.extent;
+}
+
+Shape LayoutShape(const TensorLayout& layout, const AxisExtents& extents) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(layout.dims.size());
+  for (const std::vector<SubDim>& dim : layout.dims) {
+    std::int64_t extent = 1;
+    for (const SubDim& sub : dim) {
+      extent *= SubDimExtent(sub, extents);
+    }
+    dims.push_back(extent);
+  }
+  return Shape(dims);
+}
+
+namespace {
+
+// Flattens the layout into one sub-dim list (row-major over dims, then over
+// sub-dims within a dim) with exact extents, bucket extents, and the
+// row-major strides of the bucket-side (or exact-side) flattened tensor.
+struct FlatLayout {
+  std::vector<std::int64_t> exact;          // per sub-dim exact extent
+  std::vector<std::int64_t> src_strides;    // strides in the source tensor
+  std::vector<std::int64_t> dst_strides;    // strides in the destination tensor
+};
+
+std::vector<std::int64_t> SubDimStrides(const TensorLayout& layout, const AxisExtents& extents) {
+  std::vector<std::int64_t> sizes;
+  for (const std::vector<SubDim>& dim : layout.dims) {
+    for (const SubDim& sub : dim) {
+      sizes.push_back(SubDimExtent(sub, extents));
+    }
+  }
+  std::vector<std::int64_t> strides(sizes.size(), 1);
+  for (size_t i = sizes.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * sizes[i];
+  }
+  return strides;
+}
+
+Status CheckShape(const char* what, const TensorLayout& layout, const Tensor& t,
+                  const AxisExtents& extents) {
+  const Shape want = LayoutShape(layout, extents);
+  if (t.shape().dims() != want.dims()) {
+    return InvalidArgument(StrCat("shape-bucket ", what, ": tensor \"", layout.name, "\" has shape ",
+                                  t.shape().ToString(), ", layout expects ", want.ToString()));
+  }
+  return Status::Ok();
+}
+
+// Copies the full exact-extent sub-dim index space from src to dst, where
+// both are flattened tensors addressed via the given sub-dim strides.
+void CopyRegion(const std::vector<std::int64_t>& exact_extents,
+                const std::vector<std::int64_t>& src_strides,
+                const std::vector<std::int64_t>& dst_strides, const Tensor& src, Tensor* dst) {
+  const size_t rank = exact_extents.size();
+  std::vector<std::int64_t> index(rank, 0);
+  while (true) {
+    std::int64_t src_flat = 0;
+    std::int64_t dst_flat = 0;
+    for (size_t i = 0; i < rank; ++i) {
+      src_flat += index[i] * src_strides[i];
+      dst_flat += index[i] * dst_strides[i];
+    }
+    dst->at(dst_flat) = src.at(src_flat);
+    size_t axis = rank;
+    while (axis-- > 0) {
+      if (++index[axis] < exact_extents[axis]) {
+        break;
+      }
+      index[axis] = 0;
+      if (axis == 0) {
+        return;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> SubDimExtents(const TensorLayout& layout, const AxisExtents& extents) {
+  std::vector<std::int64_t> out;
+  for (const std::vector<SubDim>& dim : layout.dims) {
+    for (const SubDim& sub : dim) {
+      out.push_back(SubDimExtent(sub, extents));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Tensor> PadToBucket(const TensorLayout& layout, const Tensor& exact,
+                             const AxisExtents& exact_extents, const AxisExtents& bucket_extents) {
+  SF_RETURN_IF_ERROR(CheckShape("pad", layout, exact, exact_extents));
+  const Shape bucket_shape = LayoutShape(layout, bucket_extents);
+  Tensor bucket = Tensor::Zeros(bucket_shape, exact.dtype());
+  if (layout.attn_mask && !bucket_shape.dims().empty()) {
+    // Padded kv columns read -1e30 in *every* row so their softmax weight
+    // underflows to exactly zero; padded query rows keep 0 in real columns
+    // (a finite row — softmax of it is well defined and sliced away anyway).
+    const std::int64_t cols = bucket_shape.dims().back();
+    const std::int64_t exact_cols = LayoutShape(layout, exact_extents).dims().back();
+    const std::int64_t rows = bucket_shape.volume() / cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = exact_cols; c < cols; ++c) {
+        bucket.at(r * cols + c) = kMaskPadValue;
+      }
+    }
+  }
+  CopyRegion(SubDimExtents(layout, exact_extents), SubDimStrides(layout, exact_extents),
+             SubDimStrides(layout, bucket_extents), exact, &bucket);
+  return bucket;
+}
+
+StatusOr<Tensor> SliceToExact(const TensorLayout& layout, const Tensor& bucket,
+                              const AxisExtents& exact_extents, const AxisExtents& bucket_extents) {
+  SF_RETURN_IF_ERROR(CheckShape("slice", layout, bucket, bucket_extents));
+  Tensor exact = Tensor::Zeros(LayoutShape(layout, exact_extents), bucket.dtype());
+  CopyRegion(SubDimExtents(layout, exact_extents), SubDimStrides(layout, bucket_extents),
+             SubDimStrides(layout, exact_extents), bucket, &exact);
+  return exact;
+}
+
+}  // namespace spacefusion

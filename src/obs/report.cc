@@ -72,7 +72,12 @@ std::string CompileReport::ToJson() const {
                 "},\"jit\":{\"kernels_built\":", jit_kernels_built,
                 ",\"kernels_cached\":", jit_kernels_cached,
                 ",\"build_ms\":", FormatNumber(jit_build_ms),
-                "},\"modeled_time_us\":", FormatNumber(modeled_time_us), "}");
+                "},\"modeled_time_us\":", FormatNumber(modeled_time_us),
+                ",\"shape\":\"", JsonEscape(shape),
+                "\",\"bucket\":\"", JsonEscape(bucket),
+                "\",\"bucket_hit\":", bucket_hit ? "true" : "false",
+                ",\"transfer_seeded\":", transfer_seeded,
+                ",\"measured_speedup\":", FormatNumber(measured_speedup), "}");
   return out;
 }
 
@@ -138,6 +143,13 @@ StatusOr<CompileReport> CompileReport::FromJson(const std::string& json) {
     report.jit_build_ms = jit->GetNumber("build_ms");
   }
   report.modeled_time_us = doc.GetNumber("modeled_time_us");
+  // Absent in pre-bucket documents: fields default to empty/zero.
+  report.shape = doc.GetString("shape");
+  report.bucket = doc.GetString("bucket");
+  const JsonValue* bucket_hit = doc.Get("bucket_hit");
+  report.bucket_hit = bucket_hit != nullptr && bucket_hit->boolean();
+  report.transfer_seeded = static_cast<std::int64_t>(doc.GetNumber("transfer_seeded"));
+  report.measured_speedup = doc.GetNumber("measured_speedup");
   return report;
 }
 

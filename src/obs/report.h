@@ -83,6 +83,23 @@ struct CompileReport {
   std::int64_t jit_kernels_cached = 0;
   double jit_build_ms = 0.0;
 
+  // Dynamic shapes. For a shape-routed request (CompileModelForShape):
+  // `shape` is the request's ShapeKey label, `bucket` the bucket it was
+  // routed to, bucket_hit whether the whole request was served without a
+  // tuner invocation, and transfer_seeded how many admitted configs the
+  // tuner measured first on a neighboring bucket's recommendation. All
+  // empty/zero for shape-agnostic compiles, and absent fields default when
+  // parsing pre-bucket documents.
+  std::string shape;
+  std::string bucket;
+  bool bucket_hit = false;
+  std::int64_t transfer_seeded = 0;
+
+  // Measured fused/unfused wall-clock ratio from a real execution of this
+  // program (bench/fig_wallclock); 0 when never measured. The calibration
+  // signal for the modeled-time cost path.
+  double measured_speedup = 0.0;
+
   std::string ToJson() const;
   // Inverse of ToJson; rejects documents whose schema_version is newer than
   // this build understands.

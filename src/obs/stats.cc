@@ -50,6 +50,20 @@ void AddReportSeries(const CompileReport& report, std::map<std::string, double>*
   // run's extra hits as a "regression".
   (*series)[StrCat(base, "/jit_kernels_built")] = static_cast<double>(report.jit_kernels_built);
   (*series)[StrCat(base, "/wall/jit_build_ms")] = report.jit_build_ms;
+  // Shape-bucketed requests: deterministic routing/transfer counters (a
+  // cold-vs-warm diff catching a bucket that re-tuned is the point), only
+  // present when the report was bucket-routed.
+  if (!report.bucket.empty()) {
+    (*series)[StrCat(base, "/bucket/hits")] = report.bucket_hit ? 1.0 : 0.0;
+    (*series)[StrCat(base, "/bucket/misses")] = report.bucket_hit ? 0.0 : 1.0;
+    (*series)[StrCat(base, "/bucket/transfer_seeded")] =
+        static_cast<double>(report.transfer_seeded);
+  }
+  // Host wall-clock calibration ratio (fig_wallclock); wall-gated like
+  // every other measured quantity.
+  if (report.measured_speedup != 0.0) {
+    (*series)[StrCat(base, "/wall/measured_speedup")] = report.measured_speedup;
+  }
   for (const PassReportEntry& pass : report.passes) {
     (*series)[StrCat(base, "/wall/pass/", pass.pass)] = pass.wall_ms;
   }
@@ -272,6 +286,9 @@ std::string RenderSummary(const RunStats& run, int top_n) {
     int hits = 0;
     int errors = 0;
     int collisions = 0;
+    int bucketed = 0;
+    int bucket_hits = 0;
+    long long transfer_seeded = 0;
     for (const CompileReport& report : run.reports) {
       if (report.outcome == "cold") {
         ++cold;
@@ -283,9 +300,20 @@ std::string RenderSummary(const RunStats& run, int top_n) {
       if (report.cache_collision) {
         ++collisions;
       }
+      if (!report.bucket.empty()) {
+        ++bucketed;
+        if (report.bucket_hit) {
+          ++bucket_hits;
+        }
+        transfer_seeded += report.transfer_seeded;
+      }
     }
     out += StrCat("reports: ", run.reports.size(), " (", cold, " cold, ", hits, " cache hit(s), ",
                   errors, " error(s), ", collisions, " collision(s))\n");
+    if (bucketed > 0) {
+      out += StrCat("shape buckets: ", bucketed, " bucketed report(s), ", bucket_hits,
+                    " bucket hit(s), ", transfer_seeded, " transfer-seeded config(s)\n");
+    }
     for (const CompileReport& report : run.reports) {
       if (report.outcome == "error") {
         out += StrCat("  failed ", report.request_id,

@@ -56,6 +56,12 @@ struct CompileOptions {
   AnalyzeMode analyze = AnalyzeModeFromEnv();
   SearchOptions search;
   TunerOptions tuner;
+  // Shape bucket this compile belongs to (the bucket ShapeKey::Label(),
+  // "" for shape-agnostic compiles). Mixed into CompileOptionsDigest only
+  // when non-empty — legacy digests are unchanged — and stamped onto
+  // persistent cache entries so one bucket's programs can never serve
+  // another bucket, even on a fingerprint collision.
+  std::string shape_bucket;
 
   CompileOptions();  // defaults to A100
   explicit CompileOptions(GpuArch a) : arch(std::move(a)) {}
@@ -84,6 +90,11 @@ struct CompiledSubprogram {
   // served from the cache carries the id of the request that hit, not of
   // the request that originally compiled it.
   std::string request_id;
+  // What this compile contributes to cross-bucket config transfer: one
+  // record per tuned kernel (across all candidates). In-memory only — not
+  // serialized into .sfpc blobs, so persisted programs stay byte-identical
+  // to the pre-transfer format.
+  std::vector<TunedKernelRecord> tuned_kernels;
 };
 
 // Distinct fusion patterns discovered across compilations (Table 6).
@@ -137,6 +148,10 @@ struct CompilationState {
   double total_tuning_s = 0.0;
   int configs_tried = 0;
   int configs_screened = 0;
+  int configs_transfer_seeded = 0;
+  // Per-kernel transfer records (signature + admitted configs best-first),
+  // appended by TunePass in deterministic candidate/kernel order.
+  std::vector<TunedKernelRecord> tuned_kernels;
 
   // Renders the artifacts present so far (for SPACEFUSION_DUMP_AFTER_PASS).
   std::string DumpArtifacts() const;

@@ -226,11 +226,16 @@ class TunePass : public Pass {
                              state->options->tuner, state->cost_cache);
             }
           });
-      for (const TuningStats& stats : kernel_stats) {
+      for (TuningStats& stats : kernel_stats) {
         state->total_tuning_s += stats.simulated_tuning_seconds;
         state->configs_tried += stats.configs_tried;
         state->configs_screened += stats.configs_screened;
+        state->configs_transfer_seeded += stats.configs_transfer_seeded;
         state->candidates[ci].tuning.configs_early_quit += stats.configs_early_quit;
+        if (stats.transfer_signature != 0 && !stats.admitted_configs.empty()) {
+          state->tuned_kernels.push_back(
+              {stats.transfer_signature, std::move(stats.admitted_configs)});
+        }
       }
     }
     return Status::Ok();

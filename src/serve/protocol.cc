@@ -32,6 +32,22 @@ std::int64_t GetInt(const JsonValue& doc, const std::string& key, std::int64_t f
   return v != nullptr && v->is_number() ? v->integer() : fallback;
 }
 
+// SFV0701: a shape field that is present must be a positive integral JSON
+// number. A typo'd "seq":"256" used to fall back to the default silently —
+// and compile the wrong bucket — so malformed shapes are now a hard error.
+StatusOr<std::int64_t> GetShapeField(const JsonValue& doc, const std::string& key,
+                                     std::int64_t fallback) {
+  const JsonValue* v = doc.Get(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (!v->is_number() || v->number() != static_cast<double>(v->integer()) || v->integer() < 1) {
+    return InvalidArgument(
+        StrCat("[SFV0701] serve request: \"", key, "\" must be a positive integer"));
+  }
+  return v->integer();
+}
+
 }  // namespace
 
 StatusOr<ModelKind> ModelKindFromName(const std::string& name) {
@@ -87,16 +103,28 @@ StatusOr<ServeRequest> ServeRequestFromJson(const std::string& line) {
   request.id = doc.GetString("id");
   request.client = doc.GetString("client", "anonymous");
   request.model = doc.GetString("model");
-  request.batch = GetInt(doc, "batch", 1);
-  request.seq = GetInt(doc, "seq", 128);
+  if (const JsonValue* shape = doc.Get("shape"); shape != nullptr) {
+    if (doc.Get("batch") != nullptr || doc.Get("seq") != nullptr) {
+      return InvalidArgument(
+          "[SFV0701] serve request: \"shape\" and \"batch\"/\"seq\" are mutually exclusive");
+    }
+    if (!shape->is_string()) {
+      return InvalidArgument("[SFV0701] serve request: \"shape\" must be a \"b<batch>s<seq>\" string");
+    }
+    StatusOr<ShapeKey> key = ParseShapeLabel(shape->str());
+    if (!key.ok()) {
+      return InvalidArgument(StrCat("[SFV0701] serve request: ", key.status().message()));
+    }
+    request.batch = key->batch;
+    request.seq = key->seq;
+  } else {
+    SF_ASSIGN_OR_RETURN(request.batch, GetShapeField(doc, "batch", 1));
+    SF_ASSIGN_OR_RETURN(request.seq, GetShapeField(doc, "seq", 128));
+  }
   request.arch = doc.GetString("arch", "a100");
   request.deadline_ms = GetInt(doc, "deadline_ms", 0);
   if (request.model.empty()) {
     return InvalidArgument("serve request: missing \"model\"");
-  }
-  if (request.batch < 1 || request.seq < 1) {
-    return InvalidArgument(StrCat("serve request: invalid batch ", request.batch, " / seq ",
-                                  request.seq));
   }
   return request;
 }
@@ -121,7 +149,11 @@ std::string ServeResponseToJson(const ServeResponse& response) {
       ",\"l1_misses\":", response.estimate.l1_misses,
       ",\"l2_accesses\":", response.estimate.l2_accesses,
       ",\"l2_misses\":", response.estimate.l2_misses,
-      "},\"wall_ms\":", ExactDouble(response.wall_ms), "}");
+      "},\"wall_ms\":", ExactDouble(response.wall_ms),
+      ",\"shape\":\"", JsonEscape(response.shape),
+      "\",\"bucket\":\"", JsonEscape(response.bucket),
+      "\",\"bucket_hit\":", response.bucket_hit ? "true" : "false",
+      ",\"transfer_seeded\":", response.transfer_seeded, "}");
   return out;
 }
 
@@ -153,6 +185,11 @@ StatusOr<ServeResponse> ServeResponseFromJson(const std::string& line) {
     response.estimate.l2_misses = GetInt(*estimate, "l2_misses", 0);
   }
   response.wall_ms = doc.GetNumber("wall_ms");
+  response.shape = doc.GetString("shape");
+  response.bucket = doc.GetString("bucket");
+  const JsonValue* bucket_hit = doc.Get("bucket_hit");
+  response.bucket_hit = bucket_hit != nullptr && bucket_hit->boolean();
+  response.transfer_seeded = GetInt(doc, "transfer_seeded", 0);
   return response;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/graph/models.h"
+#include "src/graph/shape_bucket.h"
 #include "src/sim/arch.h"
 #include "src/sim/kernel.h"
 #include "src/support/status.h"
@@ -32,10 +33,16 @@ struct ServeRequest {
   std::string id;                  // client-chosen, echoed in the response
   std::string client = "anonymous";  // quota key
   std::string model;               // "bert" | "albert" | "t5" | "vit" | "llama2"
+  // The request shape. On the wire either as "batch"/"seq" integers or as
+  // one "shape":"b<batch>s<seq>" label (mixing both is ambiguous and
+  // rejected). Malformed shape fields are an SFV0701 INVALID_ARGUMENT —
+  // never silently replaced by the defaults.
   std::int64_t batch = 1;
   std::int64_t seq = 128;
   std::string arch = "a100";       // "v100" | "a100" | "h100"
   std::int64_t deadline_ms = 0;    // <= 0: no deadline
+
+  ShapeKey shape_key() const { return {batch, seq}; }
 };
 
 struct ServeResponse {
@@ -50,6 +57,14 @@ struct ServeResponse {
   double tuning_seconds = 0.0;     // simulated tuning time (deterministic)
   ExecutionReport estimate;        // whole-model modeled execution
   double wall_ms = 0.0;            // daemon-side wall clock (nondeterministic)
+  // Shape bucketing: the request shape label, the bucket it was routed to,
+  // whether the whole request was served without a tuner invocation, and how
+  // many tuner configs were seeded from a neighboring bucket. Absent in
+  // pre-bucket responses (parse back as empty/zero).
+  std::string shape;
+  std::string bucket;
+  bool bucket_hit = false;
+  std::int64_t transfer_seeded = 0;
 
   bool ok() const { return status == "ok"; }
 };

@@ -101,22 +101,25 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
 
   CompileOptions job_options = options_.compile;
   job_options.arch = std::move(arch).value();
-  ModelGraph model = BuildModel(GetModelConfig(kind.value(), request.batch, request.seq));
+  const ShapeKey shape = request.shape_key();
+  const ShapeKey bucket = BucketingPolicy::FromEnv().BucketFor(shape);
 
-  // Coalescing key = what the engine's program cache would be keyed by for
-  // this whole model: the fold of its subprogram fingerprints plus the
-  // options digest. Requests that would compile the same programs share one
-  // job, whatever their request ids or clients.
+  // Coalescing key = what the engine's shape-bucketed cache is keyed by:
+  // model kind, the *bucket* the shape rounds to, and the options digest.
+  // Two requests whose shapes land in the same bucket would compile the
+  // same programs (the bucketed factory is structurally deterministic), so
+  // they share one job, whatever their exact shapes, ids or clients.
   std::uint64_t key = 1469598103934665603ULL;
-  for (const Subprogram& sub : model.subprograms) {
-    Mix(&key, sub.graph.StructuralHash());
-  }
+  Mix(&key, static_cast<std::uint64_t>(kind.value()));
+  Mix(&key, static_cast<std::uint64_t>(bucket.batch));
+  Mix(&key, static_cast<std::uint64_t>(bucket.seq));
   Mix(&key, CompileOptionsDigest(job_options));
 
   Waiter waiter;
   waiter.promise = std::move(promise);
   waiter.request_id = request.id;
   waiter.client = request.client;
+  waiter.shape = shape.Label();
   waiter.enqueued = Clock::now();
   if (request.deadline_ms > 0) {
     waiter.has_deadline = true;
@@ -160,9 +163,10 @@ std::future<ServeResponse> ServeServer::Submit(ServeRequest request) {
     } else {
       auto job = std::make_shared<Job>();
       job->key = key;
-      job->model = std::move(model);
+      job->kind = kind.value();
+      job->shape = shape;
       job->options = std::move(job_options);
-      job->model_name = job->model.config.name;
+      job->model_name = GetModelConfig(kind.value(), request.batch, request.seq).name;
       ++client_inflight_[request.client];
       job->waiters.push_back(std::move(waiter));
       jobs_.emplace(key, job);
@@ -244,7 +248,8 @@ void ServeServer::RunJob(const std::shared_ptr<Job>& job) {
   }
   SF_COUNTER_ADD("serve.compiles", 1);
 
-  StatusOr<CompiledModel> compiled = engine_->CompileModel(job->model, job->options);
+  StatusOr<ShapeCompileResult> compiled =
+      engine_->CompileModelForShape(job->kind, job->shape, job->options);
 
   std::vector<Waiter> waiters;
   {
@@ -270,15 +275,21 @@ void ServeServer::RunJob(const std::shared_ptr<Job>& job) {
       response.status = StatusCodeName(compiled.status().code());
       response.error = compiled.status().ToString();
     } else {
-      const CompiledModel& result = *compiled;
+      const CompiledModel& result = compiled->compiled;
       response.outcome = result.report.outcome;
       response.coalesced = waiter.coalesced;
       response.unique_subprograms = static_cast<int>(result.unique_subprograms.size());
       response.cache_hits = result.cache_hits;
       response.tuning_seconds = result.compile_time.tuning_s;
+      // The estimate is of the *bucket's* program — what actually executes
+      // for every shape routed here.
       response.estimate = result.total;
       response.wall_ms =
           std::chrono::duration<double, std::milli>(done - waiter.enqueued).count();
+      response.shape = waiter.shape;
+      response.bucket = compiled->bucketed.bucket_key.Label();
+      response.bucket_hit = compiled->bucket_hit;
+      response.transfer_seeded = compiled->transfer_seeded;
     }
     Deliver(&waiter, std::move(response));
   }

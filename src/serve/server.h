@@ -121,15 +121,20 @@ class ServeServer {
     std::promise<ServeResponse> promise;
     std::string request_id;
     std::string client;
+    std::string shape;  // this requester's exact shape label
     bool coalesced = false;
     bool has_deadline = false;
     Clock::time_point deadline;
     Clock::time_point enqueued;
   };
 
+  // One bucketed compile. Coalescing is bucket-level: requests whose shapes
+  // round to the same bucket (same model kind, arch, options) share one job,
+  // so a mixed-shape storm compiles each bucket once.
   struct Job {
     std::uint64_t key = 0;
-    ModelGraph model;
+    ModelKind kind = ModelKind::kBert;
+    ShapeKey shape;  // first requester's shape; any shape in the bucket works
     CompileOptions options;
     std::string model_name;
     std::vector<Waiter> waiters;  // guarded by the server mutex

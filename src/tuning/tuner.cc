@@ -42,6 +42,20 @@ std::uint64_t ScheduleSignature(const SmgSchedule& schedule, const GpuArch& arch
 
 }  // namespace
 
+std::uint64_t TransferSignature(const SmgSchedule& schedule, const GpuArch& arch,
+                                const ResourceConfig& rc) {
+  std::uint64_t h = schedule.graph.TopologyHash();
+  for (const DimSlice& slice : schedule.spatial) {
+    h = HashCombine(h, static_cast<std::uint64_t>(slice.dim));
+  }
+  h = HashCombine(h, schedule.has_temporal ? static_cast<std::uint64_t>(schedule.temporal.dim) + 1
+                                           : 0);
+  h = HashCombine(h, std::hash<std::string>{}(arch.name));
+  h = HashCombine(h, static_cast<std::uint64_t>(rc.smem_per_block_max));
+  h = HashCombine(h, static_cast<std::uint64_t>(rc.reg_per_block_max));
+  return h;
+}
+
 int ScreenTopKFromEnv() {
   static const int cached = [] {
     const char* env = std::getenv("SPACEFUSION_SCREEN_TOPK");
@@ -143,43 +157,98 @@ TuningStats TuneKernel(SlicingResult* result, const CostModel& cost, const Resou
     }
   });
 
-  // Serial reduction in config order: deterministic argmin (lowest index
-  // wins ties) and the early-quit accounting. The accounting keeps modeling
-  // the *serial* on-GPU measurement schedule — 20 warm-up + 100 timed runs
-  // per config, abandoned at alpha x the incumbent's total — so Table 4/5's
-  // simulated tuning seconds are independent of host-side parallelism. Only
-  // admitted configs are measured on the modeled GPU.
+  // Serial selection scan in config order: deterministic argmin, lowest
+  // index wins ties. The winner never depends on a transfer prior or the
+  // job count — both only reshuffle *when* the modeled GPU measures things.
   std::int64_t best_idx = -1;
   double best_time = 0.0;
-  double best_total = 0.0;  // incumbent's full measurement time (us)
-  const int total_runs = options.warmup_runs + options.timed_runs;
   for (std::int64_t i : admitted) {
     double t = time_us[static_cast<size_t>(i)];
     ++stats.configs_tried;
+    if (best_idx < 0 || t < best_time) {
+      best_idx = i;
+      best_time = t;
+    }
+  }
 
-    double full_measurement = t * total_runs;
+  // Measurement order on the modeled GPU: ascending config index, unless a
+  // neighboring bucket's prior names admitted configs — those run first (in
+  // prior order, i.e. the neighbor's best first), so a near-optimal
+  // incumbent is established immediately and the rest early-quit.
+  std::vector<std::int64_t> charge_order = admitted;
+  if (options.transfer_prior) {
+    const std::vector<std::string> prior = options.transfer_prior(result->schedule);
+    if (!prior.empty()) {
+      std::vector<char> taken(static_cast<size_t>(n), 0);
+      std::vector<std::int64_t> seeded;
+      for (const std::string& p : prior) {
+        for (std::int64_t i : admitted) {
+          if (taken[static_cast<size_t>(i)] == 0 &&
+              result->configs[static_cast<size_t>(i)].ToString() == p) {
+            taken[static_cast<size_t>(i)] = 1;
+            seeded.push_back(i);
+            break;
+          }
+        }
+      }
+      if (!seeded.empty()) {
+        stats.configs_transfer_seeded = static_cast<int>(seeded.size());
+        for (std::int64_t i : admitted) {
+          if (taken[static_cast<size_t>(i)] == 0) {
+            seeded.push_back(i);
+          }
+        }
+        charge_order = std::move(seeded);
+      }
+    }
+  }
+
+  // Early-quit accounting over the measurement order: 20 warm-up + 100
+  // timed runs per config, abandoned at alpha x the incumbent's total — so
+  // Table 4/5's simulated tuning seconds are independent of host-side
+  // parallelism. Only admitted configs are measured on the modeled GPU.
+  const int total_runs = options.warmup_runs + options.timed_runs;
+  double incumbent_time = 0.0;
+  double incumbent_total = 0.0;  // incumbent's full measurement time (us)
+  bool have_incumbent = false;
+  for (std::int64_t i : charge_order) {
+    const double t = time_us[static_cast<size_t>(i)];
+    const double full_measurement = t * total_runs;
     double charged = full_measurement;
-    if (options.enable_early_quit && best_idx >= 0 &&
-        full_measurement > options.early_quit_alpha * best_total) {
+    if (options.enable_early_quit && have_incumbent &&
+        full_measurement > options.early_quit_alpha * incumbent_total) {
       // The runner abandons this config once it has burned alpha x the
       // incumbent's total test time.
-      charged = std::min(full_measurement, options.early_quit_alpha * best_total + t);
+      charged = std::min(full_measurement, options.early_quit_alpha * incumbent_total + t);
       if (charged < full_measurement) {
         ++stats.configs_early_quit;
       }
     }
     stats.simulated_tuning_seconds += charged * 1e-6;
-
-    if (best_idx < 0 || t < best_time) {
-      best_idx = i;
-      best_time = t;
-      best_total = full_measurement;
+    if (!have_incumbent || t < incumbent_time) {
+      have_incumbent = true;
+      incumbent_time = t;
+      incumbent_total = full_measurement;
     }
   }
 
   result->schedule.ApplyConfig(result->configs[static_cast<size_t>(best_idx)]);
   PlanMemory(&result->schedule, rc);
   stats.best_time_us = best_time;
+  stats.transfer_signature = TransferSignature(result->schedule, cost.arch(), rc);
+
+  // Export the admitted set best-measured-first: the transfer prior handed
+  // to the next bucket (capped — a prior longer than this buys nothing).
+  std::vector<std::int64_t> ranked = admitted;
+  std::sort(ranked.begin(), ranked.end(), [&time_us](std::int64_t a, std::int64_t b) {
+    const double ta = time_us[static_cast<size_t>(a)], tb = time_us[static_cast<size_t>(b)];
+    return ta < tb || (ta == tb && a < b);
+  });
+  constexpr size_t kMaxPriorConfigs = 32;
+  for (size_t k = 0; k < ranked.size() && k < kMaxPriorConfigs; ++k) {
+    stats.admitted_configs.push_back(
+        result->configs[static_cast<size_t>(ranked[k])].ToString());
+  }
 
   SF_COUNTER_ADD("tuner.configs_tried", stats.configs_tried);
   SF_COUNTER_ADD("tuner.configs_early_quit", stats.configs_early_quit);

@@ -26,6 +26,9 @@
 #define SPACEFUSION_SRC_TUNING_TUNER_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "src/schedule/pipeline.h"
 #include "src/sim/cost_model.h"
@@ -42,6 +45,23 @@ struct TuningStats {
   double best_time_us = 0.0;
   // Emulated wall-clock the measurement runs would take on the GPU.
   double simulated_tuning_seconds = 0.0;
+
+  // ---- Shape-bucket config transfer (in-memory only; none of these are
+  // serialized into .sfpc blobs, keeping persisted programs byte-identical
+  // to the pre-transfer format). configs_transfer_seeded counts admitted
+  // configs the modeled GPU measured first because a neighboring bucket's
+  // prior named them; admitted_configs carries the admitted set best
+  // measured config first, the prior handed to the *next* bucket.
+  int configs_transfer_seeded = 0;
+  std::uint64_t transfer_signature = 0;  // shape-free schedule identity
+  std::vector<std::string> admitted_configs;
+};
+
+// What one tuned kernel contributes to the engine's cross-bucket transfer
+// store: its shape-free signature plus its admitted configs, best first.
+struct TunedKernelRecord {
+  std::uint64_t signature = 0;
+  std::vector<std::string> admitted_configs;
 };
 
 // Default for TunerOptions::screen_top_k, from SPACEFUSION_SCREEN_TOPK:
@@ -61,7 +81,22 @@ struct TunerOptions {
   // relative margin of the screened best is always fully evaluated, even
   // beyond top-K.
   double screen_epsilon = 0.02;
+  // Config transfer across shape buckets: maps the schedule being tuned to
+  // the nearest already-tuned bucket's admitted configs (best first), or
+  // empty for none. A prior reorders only the *modeled measurement
+  // schedule* — transferred configs run first, so a near-optimal incumbent
+  // early-quits the rest and simulated_tuning_seconds collapses — it never
+  // changes which configs are admitted or which one wins. Like
+  // EngineOptions::analyze, deliberately excluded from CompileOptionsDigest.
+  std::function<std::vector<std::string>(const SmgSchedule&)> transfer_prior;
 };
+
+// Shape-free variant of the cost-cache schedule signature: built on
+// TopologyHash instead of StructuralHash, so the same kernel template tuned
+// at two different bucket shapes collides. Keys the engine's cross-bucket
+// config-transfer store.
+std::uint64_t TransferSignature(const SmgSchedule& schedule, const GpuArch& arch,
+                                const ResourceConfig& rc);
 
 // Tunes one kernel in place: applies the best config to `result->schedule`.
 // With a CostCache, repeated (kernel signature, config) evaluations across

@@ -39,7 +39,8 @@ int Usage() {
          "  --socket PATH     sf-serve AF_UNIX socket to connect to\n"
          "  --model NAME      bert|albert|t5|vit|llama2|all (default: all)\n"
          "  --batch N         batch size (default: 1)\n"
-         "  --seq N           sequence length (default: 128)\n"
+         "  --seq N[,N...]    sequence length(s); a comma list storms the daemon\n"
+         "                    with mixed shapes (default: 128)\n"
          "  --arch NAME       v100|a100|h100 (default: a100)\n"
          "  --client NAME     client id for the daemon's per-client quota\n"
          "  --deadline-ms N   per-request deadline (default: none)\n"
@@ -116,7 +117,7 @@ struct ClientConfig {
   std::string socket_path;
   std::vector<std::string> models;
   int batch = 1;
-  int seq = 128;
+  std::vector<int> seqs = {128};
   std::string arch = "a100";
   std::string client = "sf-client";
   std::int64_t deadline_ms = 0;
@@ -131,6 +132,8 @@ struct Tally {
   int sent = 0;
   int ok = 0;
   int coalesced = 0;
+  int bucket_hits = 0;
+  long long transfer_seeded = 0;
   int failed = 0;
 };
 
@@ -144,12 +147,13 @@ void RunThread(const ClientConfig& config, int thread_index, Tally* tally) {
   std::string buffer;
   for (int i = 0; i < config.count; ++i) {
     for (const std::string& model : config.models) {
+     for (const int seq : config.seqs) {
       ServeRequest request;
-      request.id = StrCat("t", thread_index, "-", model, "-", i);
+      request.id = StrCat("t", thread_index, "-", model, "-s", seq, "-", i);
       request.client = config.client;
       request.model = model;
       request.batch = config.batch;
-      request.seq = config.seq;
+      request.seq = seq;
       request.arch = config.arch;
       request.deadline_ms = config.deadline_ms;
       {
@@ -176,20 +180,27 @@ void RunThread(const ClientConfig& config, int thread_index, Tally* tally) {
         if (response->coalesced) {
           ++tally->coalesced;
         }
+        if (response->bucket_hit) {
+          ++tally->bucket_hits;
+        }
+        tally->transfer_seeded += response->transfer_seeded;
       } else {
         ++tally->failed;
       }
       if (config.json) {
         std::cout << line << "\n";
       } else if (response->ok()) {
-        std::printf("%-10s %-16s outcome=%-14s coalesced=%d time_us=%.3f wall_ms=%.2f\n",
-                    request.id.c_str(), response->model.c_str(), response->outcome.c_str(),
-                    response->coalesced ? 1 : 0, response->estimate.time_us,
-                    response->wall_ms);
+        std::printf(
+            "%-14s %-16s outcome=%-14s coalesced=%d shape=%s bucket=%s bucket_hit=%d "
+            "time_us=%.3f wall_ms=%.2f\n",
+            request.id.c_str(), response->model.c_str(), response->outcome.c_str(),
+            response->coalesced ? 1 : 0, response->shape.c_str(), response->bucket.c_str(),
+            response->bucket_hit ? 1 : 0, response->estimate.time_us, response->wall_ms);
       } else {
-        std::printf("%-10s %-16s %s: %s\n", request.id.c_str(), model.c_str(),
+        std::printf("%-14s %-16s %s: %s\n", request.id.c_str(), model.c_str(),
                     response->status.c_str(), response->error.c_str());
       }
+     }
     }
   }
   ::close(fd);
@@ -241,7 +252,16 @@ int Run(int argc, char** argv) {
     } else if (flag == "--batch") {
       config.batch = std::atoi(value.c_str());
     } else if (flag == "--seq") {
-      config.seq = std::atoi(value.c_str());
+      config.seqs.clear();
+      size_t start = 0;
+      while (start <= value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) {
+          comma = value.size();
+        }
+        config.seqs.push_back(std::atoi(value.substr(start, comma - start).c_str()));
+        start = comma + 1;
+      }
     } else if (flag == "--arch") {
       config.arch = value;
     } else if (flag == "--client") {
@@ -259,8 +279,13 @@ int Run(int argc, char** argv) {
     }
   }
   if (config.socket_path.empty() || config.threads < 1 || config.count < 1 ||
-      config.batch < 1 || config.seq < 1) {
+      config.batch < 1 || config.seqs.empty()) {
     return Usage();
+  }
+  for (const int seq : config.seqs) {
+    if (seq < 1) {
+      return Usage();
+    }
   }
   if (shutdown) {
     return SendShutdown(config);
@@ -282,8 +307,11 @@ int Run(int argc, char** argv) {
   }
 
   if (!config.json) {
-    std::printf("sf-client: %d sent, %d ok (%d coalesced), %d failed\n", tally.sent, tally.ok,
-                tally.coalesced, tally.failed);
+    std::printf(
+        "sf-client: %d sent, %d ok (%d coalesced, %d bucket hits, %lld transfer-seeded), "
+        "%d failed\n",
+        tally.sent, tally.ok, tally.coalesced, tally.bucket_hits, tally.transfer_seeded,
+        tally.failed);
   }
   return tally.failed == 0 && tally.sent > 0 ? 0 : 1;
 }

@@ -45,13 +45,16 @@ int Usage() {
   std::cerr
       << "usage: sf-compile [--model NAME|all] [--batch N] [--seq N] [--arch NAME]\n"
          "                  [--mode off|phase|full] [--dump-after-pass PASS[,PASS...]|all]\n"
-         "                  [--shared-cache] [--json PATH] [--report-dir DIR]\n"
+         "                  [--shared-cache] [--bucketed] [--json PATH] [--report-dir DIR]\n"
          "                  [--emit-kernels DIR] [--metrics] [--metrics-json]\n"
          "                  [--openmetrics] [--list]\n"
          "\n"
          "  --model           built-in model to compile (default: all)\n"
          "  --batch           batch size (default: 1)\n"
          "  --seq             sequence length / image side for ViT (default: 128)\n"
+         "  --bucketed        compile through the shape-bucketed path: the shape is\n"
+         "                    rounded to its bucket (SPACEFUSION_SHAPE_BUCKETS) and the\n"
+         "                    JSON gains shape/bucket/bucket_hit/transfer_seeded\n"
          "  --arch            target architecture: V100, A100, H100 (default: A100)\n"
          "  --mode            verification level (default: SPACEFUSION_VERIFY, else phase)\n"
          "  --dump-after-pass dump compilation artifacts after these passes (stderr)\n"
@@ -121,9 +124,13 @@ std::string ModelJson(const ModelResult& r, const CompilerEngine& engine) {
                 m.compile_time.total_s(), m.total.time_us, screened, tried,
                 static_cast<long long>(cache.hits), static_cast<long long>(cache.misses),
                 static_cast<long long>(cache.collisions));
+  std::string json = buf;
+  // Shape routing (--bucketed; empty shape/bucket on plain compiles).
+  json += StrCat(",\"shape\":\"", m.report.shape, "\",\"bucket\":\"", m.report.bucket,
+                 "\",\"bucket_hit\":", m.report.bucket_hit ? "true" : "false",
+                 ",\"transfer_seeded\":", m.report.transfer_seeded);
   // Per-pass wall breakdown from the merged CompileReport, so sf-stats can
   // reproduce and diff it per model.
-  std::string json = buf;
   json += ",\"passes\":{";
   for (size_t i = 0; i < m.report.passes.size(); ++i) {
     char pass_buf[128];
@@ -171,6 +178,7 @@ int Run(int argc, char** argv) {
   std::string json_path;
   std::string emit_kernels_dir;
   bool shared_cache = false;
+  bool bucketed = false;
   bool print_metrics = false;
   bool print_metrics_json = false;
   bool print_openmetrics = false;
@@ -188,6 +196,10 @@ int Run(int argc, char** argv) {
     }
     if (flag == "--shared-cache") {
       shared_cache = true;
+      continue;
+    }
+    if (flag == "--bucketed") {
+      bucketed = true;
       continue;
     }
     if (flag == "--metrics") {
@@ -277,15 +289,29 @@ int Run(int argc, char** argv) {
     ModelResult r;
     r.model = ModelKindName(kinds[i]);
     auto start = std::chrono::steady_clock::now();
-    StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, options, &engine);
-    r.wall_ms =
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-            .count();
-    if (compiled.ok()) {
-      r.compiled = std::move(compiled).value();
+    if (bucketed) {
+      StatusOr<ShapeCompileResult> compiled =
+          engine.CompileModelForShape(kinds[i], ShapeKey{batch, seq}, options);
+      r.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (compiled.ok()) {
+        r.compiled = std::move(compiled->compiled);
+      } else {
+        r.status = compiled.status();
+        all_ok = false;
+      }
     } else {
-      r.status = compiled.status();
-      all_ok = false;
+      StatusOr<CompiledModel> compiled = CompileModelWithSpaceFusion(model, options, &engine);
+      r.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (compiled.ok()) {
+        r.compiled = std::move(compiled).value();
+      } else {
+        r.status = compiled.status();
+        all_ok = false;
+      }
     }
 
     if (i > 0) {
@@ -309,6 +335,12 @@ int Run(int argc, char** argv) {
         r.compiled.compile_time.enum_cfg_ms, r.compiled.compile_time.tuning_s,
         r.compiled.compile_time.total_s(), r.wall_ms, static_cast<long long>(cache.hits),
         static_cast<long long>(cache.misses), static_cast<long long>(cache.collisions));
+    if (!r.compiled.report.bucket.empty()) {
+      std::printf("  shape %s -> bucket %s (%s, %lld transfer-seeded config(s))\n",
+                  r.compiled.report.shape.c_str(), r.compiled.report.bucket.c_str(),
+                  r.compiled.report.bucket_hit ? "bucket hit" : "tuned cold",
+                  static_cast<long long>(r.compiled.report.transfer_seeded));
+    }
     if (!emit_kernels_dir.empty()) {
       int pairs = EmitKernelSources(emit_kernels_dir, r.model, r.compiled);
       std::printf("  emitted %d kernel source pair(s) to %s\n", pairs, emit_kernels_dir.c_str());
